@@ -1,0 +1,102 @@
+// Experiment A1 (paper §IV-A, [72] burden and [73] NAWB): sweep the
+// planted bias level and show that (a) the burden gap between groups grows
+// with bias and (b) NAWB separates groups when false-negative rates
+// differ. Expected shape: both gaps ~0 at zero bias and monotone-ish
+// increasing in the planted shift.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/data/generators.h"
+#include "src/model/logistic_regression.h"
+#include "src/unfair/burden.h"
+#include "src/util/table.h"
+
+namespace xfair {
+namespace {
+
+struct SweepPoint {
+  double shift;
+  BurdenReport burden;
+  NawbReport nawb;
+};
+
+const std::vector<SweepPoint>& Sweep() {
+  static const std::vector<SweepPoint>* points = [] {
+    auto* out = new std::vector<SweepPoint>();
+    for (double shift : {0.0, 0.4, 0.8, 1.2}) {
+      BiasConfig cfg;
+      cfg.score_shift = shift;
+      cfg.label_bias = 0.05 * shift;
+      Dataset data = CreditGen(cfg).Generate(900, 71);
+      LogisticRegression model;
+      XFAIR_CHECK(model.Fit(data).ok());
+      Rng rng(72);
+      SweepPoint p;
+      p.shift = shift;
+      p.burden = ComputeBurden(model, data, BurdenScope::kAllNegatives, {},
+                               &rng);
+      p.nawb = ComputeNawb(model, data, {}, &rng);
+      out->push_back(p);
+    }
+    return out;
+  }();
+  return *points;
+}
+
+void PrintOnce() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  AsciiTable t({"planted shift", "burden G+", "burden G-", "burden gap",
+                "NAWB G+", "NAWB G-", "NAWB gap"});
+  for (const auto& p : Sweep()) {
+    t.AddRow({FormatDouble(p.shift, 1),
+              FormatDouble(p.burden.burden_protected),
+              FormatDouble(p.burden.burden_non_protected),
+              FormatDouble(p.burden.burden_gap),
+              FormatDouble(p.nawb.nawb_protected, 4),
+              FormatDouble(p.nawb.nawb_non_protected, 4),
+              FormatDouble(p.nawb.nawb_gap, 4)});
+  }
+  std::printf("\n=== A1: burden [72] and NAWB [73] vs planted bias ===\n"
+              "Expected shape: gaps ~0 at shift 0, increasing with shift.\n"
+              "%s\n",
+              t.ToString().c_str());
+}
+
+void BM_Burden(benchmark::State& state) {
+  PrintOnce();
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data =
+      CreditGen(cfg).Generate(static_cast<size_t>(state.range(0)), 73);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+  Rng rng(74);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeBurden(model, data, BurdenScope::kAllNegatives, {}, &rng));
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Burden)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Nawb(benchmark::State& state) {
+  PrintOnce();
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 75);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+  Rng rng(76);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeNawb(model, data, {}, &rng));
+  }
+}
+BENCHMARK(BM_Nawb)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,221 @@
+// Experiment A11 (paper §V future directions, implemented here as
+// extensions): diverse counterfactual sets, fairness *of* explanations
+// ([41]-[43], paper §II), dynamic fairness monitoring under distribution
+// shift, the combined utility-fairness-explainability score, and
+// multiclass parity profiles.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/data/generators.h"
+#include "src/explain/diverse.h"
+#include "src/fairness/drift.h"
+#include "src/fairness/tradeoff.h"
+#include "src/mitigate/inprocess.h"
+#include "src/model/logistic_regression.h"
+#include "src/model/softmax_regression.h"
+#include "src/unfair/explanation_quality.h"
+#include "src/util/table.h"
+
+namespace xfair {
+namespace {
+
+void PrintOnce() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(900, 171);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+
+  // Diverse counterfactual sets.
+  {
+    Rng rng(172);
+    AsciiTable t({"k requested", "k found", "min pairwise dist",
+                  "mean cost"});
+    size_t neg = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (model.Predict(data.instance(i)) == 0) {
+        neg = i;
+        break;
+      }
+    }
+    for (size_t k : {1, 3, 5}) {
+      DiverseCfOptions opts;
+      opts.k = k;
+      auto set = GenerateDiverseCounterfactuals(
+          model, data.schema(), data.instance(neg), opts, &rng);
+      t.AddRow({std::to_string(k), std::to_string(set.results.size()),
+                FormatDouble(set.min_pairwise_distance),
+                FormatDouble(set.mean_cost)});
+    }
+    std::printf("\n=== A11a: diverse counterfactual sets (SV) ===\n"
+                "Expected shape: more requested CFs cost more on average "
+                "(later ones take longer routes) while staying "
+                "separated.\n%s\n",
+                t.ToString().c_str());
+  }
+
+  // Fairness of explanations.
+  {
+    Rng rng(173);
+    ExplanationQualityOptions opts;
+    opts.sample_per_group = 20;
+    auto r = AuditExplanationQuality(model, data, opts, &rng);
+    AsciiTable t({"quality metric", "G+", "G-", "gap"});
+    t.AddRow({"local fidelity (R^2)", FormatDouble(r.fidelity_protected),
+              FormatDouble(r.fidelity_non_protected),
+              FormatDouble(r.fidelity_gap)});
+    t.AddRow({"instability (lower=better)",
+              FormatDouble(r.instability_protected),
+              FormatDouble(r.instability_non_protected),
+              FormatDouble(r.instability_gap)});
+    t.AddRow({"CF sparsity", FormatDouble(r.cf_sparsity_protected, 1),
+              FormatDouble(r.cf_sparsity_non_protected, 1),
+              FormatDouble(r.cf_sparsity_gap, 1)});
+    std::printf("=== A11b: fairness of explanations [41]-[43] ===\n"
+                "Expected shape: per-group explanation quality compared "
+                "as in [41]; large gaps flag second-order unfairness.\n"
+                "%s\n",
+                t.ToString().c_str());
+  }
+
+  // Drift monitoring.
+  {
+    BiasConfig fair;
+    fair.score_shift = 0.0;
+    fair.label_bias = 0.0;
+    fair.proxy_strength = 0.0;
+    fair.qualification_gap = 0.0;
+    Dataset fair_train = CreditGen(fair).Generate(800, 174);
+    LogisticRegression fair_model;
+    XFAIR_CHECK(fair_model.Fit(fair_train).ok());
+    DriftMonitorOptions opts;
+    opts.tolerance = 0.08;
+    opts.patience = 2;
+    FairnessDriftMonitor monitor(opts);
+    AsciiTable t({"batch", "world shift", "parity gap", "alarm"});
+    for (uint64_t b = 0; b < 8; ++b) {
+      BiasConfig drifting;
+      drifting.score_shift = 0.25 * static_cast<double>(b);
+      drifting.qualification_gap = 0.25 * static_cast<double>(b);
+      const double gap = monitor.ObserveBatch(
+          fair_model, CreditGen(drifting).Generate(500, 500 + b));
+      t.AddRow({std::to_string(b),
+                FormatDouble(0.25 * static_cast<double>(b), 2),
+                FormatDouble(gap), monitor.alarm() ? "YES" : "-"});
+    }
+    std::printf("=== A11c: dynamic fairness monitoring (SV) ===\n"
+                "Expected shape: gap trends up with the population shift "
+                "(trend slope %.3f/batch) and the alarm latches.\n%s\n",
+                monitor.TrendSlope(), t.ToString().c_str());
+  }
+
+  // Combined tradeoff frontier.
+  {
+    AsciiTable t({"model", "utility", "fairness", "explainability",
+                  "combined"});
+    auto add = [&](const char* name, const Model& m) {
+      auto s = EvaluateTradeoff(m, data);
+      t.AddRow({name, FormatDouble(s.utility), FormatDouble(s.fairness),
+                FormatDouble(s.explainability),
+                FormatDouble(s.combined)});
+    };
+    add("baseline logistic", model);
+    for (double lambda : {2.0, 20.0}) {
+      FairTrainingOptions opts;
+      opts.lambda = lambda;
+      auto fair_model = TrainFairLogisticRegression(data, opts);
+      XFAIR_CHECK(fair_model.ok());
+      add(lambda < 10 ? "parity penalty lambda=2"
+                      : "parity penalty lambda=20",
+          *fair_model);
+    }
+    std::printf("=== A11d: combined utility-fairness-explainability "
+                "score (SV) ===\nExpected shape: penalized models trade "
+                "utility for fairness; the geometric mean rewards "
+                "balance.\n%s\n",
+                t.ToString().c_str());
+  }
+
+  // Multiclass parity profile.
+  {
+    AsciiTable t({"planted shift", "accuracy", "parity gap",
+                  "deny tier", "review tier", "approve tier"});
+    for (double shift : {0.0, 0.6, 1.2}) {
+      auto mc = GenerateMulticlassCredit(2500, shift, 175);
+      SoftmaxRegression sm;
+      XFAIR_CHECK(sm.Fit(mc.x, mc.labels, 3).ok());
+      const Vector profile =
+          MulticlassParityProfile(sm, mc.x, mc.groups);
+      t.AddRow({FormatDouble(shift, 1),
+                FormatDouble(MulticlassAccuracy(sm, mc.x, mc.labels)),
+                FormatDouble(MulticlassParityGap(sm, mc.x, mc.groups)),
+                FormatDouble(profile[0]), FormatDouble(profile[1]),
+                FormatDouble(profile[2])});
+    }
+    std::printf("=== A11e: multiclass fairness (SV gap) ===\nExpected "
+                "shape: gap grows with the planted shift; the profile "
+                "shows G+ pushed into the deny tier and out of the "
+                "approve tier.\n%s\n",
+                t.ToString().c_str());
+  }
+}
+
+void BM_DiverseCf(benchmark::State& state) {
+  PrintOnce();
+  Dataset data = CreditGen().Generate(400, 176);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+  size_t neg = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (model.Predict(data.instance(i)) == 0) {
+      neg = i;
+      break;
+    }
+  }
+  Rng rng(177);
+  DiverseCfOptions opts;
+  opts.k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateDiverseCounterfactuals(
+        model, data.schema(), data.instance(neg), opts, &rng));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DiverseCf)->Arg(1)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExplanationQualityAudit(benchmark::State& state) {
+  PrintOnce();
+  Dataset data = CreditGen().Generate(500, 178);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+  Rng rng(179);
+  ExplanationQualityOptions opts;
+  opts.sample_per_group = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AuditExplanationQuality(model, data, opts, &rng));
+  }
+}
+BENCHMARK(BM_ExplanationQualityAudit)->Unit(benchmark::kMillisecond);
+
+void BM_SoftmaxTraining(benchmark::State& state) {
+  PrintOnce();
+  auto mc = GenerateMulticlassCredit(
+      static_cast<size_t>(state.range(0)), 1.0, 180);
+  for (auto _ : state) {
+    SoftmaxRegression sm;
+    benchmark::DoNotOptimize(sm.Fit(mc.x, mc.labels, 3));
+  }
+  state.SetLabel("n=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SoftmaxTraining)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,149 @@
+// Experiment A8 (paper §IV-C, graphs): topology-driven unfairness and its
+// structural explanations.
+//  a. SGC parity gap vs homophily: the more segregated the graph, the
+//     more propagation amplifies the group gap over a no-graph baseline.
+//  b. [89] bias-edge removal curve: pruning the top bias-accounting edges
+//     monotonically shrinks the gap.
+//  c. [90] node-influence concentration: a small fraction of training
+//     nodes carries most of the bias influence.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/beyond/node_influence.h"
+#include "src/beyond/structural_bias.h"
+#include "src/graph/sbm.h"
+#include "src/util/table.h"
+
+namespace xfair {
+namespace {
+
+GraphData MakeGraph(double p_inter, uint64_t seed = 141) {
+  SbmConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.p_intra = 0.10;
+  cfg.p_inter = p_inter;
+  cfg.label_shift = 1.0;
+  cfg.feature_signal = 0.7;
+  return GenerateSbm(cfg, seed);
+}
+
+void PrintOnce() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+
+  // a. Homophily sweep.
+  {
+    AsciiTable t({"p_inter (cross-group)", "homophily", "SGC parity gap",
+                  "no-graph parity gap"});
+    for (double p_inter : {0.10, 0.05, 0.01}) {
+      GraphData d = MakeGraph(p_inter);
+      SgcModel with_graph;
+      XFAIR_CHECK(with_graph.Fit(d).ok());
+      SgcOptions no_hops;
+      no_hops.hops = 0;
+      SgcModel without_graph;
+      XFAIR_CHECK(without_graph.Fit(d, no_hops).ok());
+      t.AddRow({FormatDouble(p_inter, 2),
+                p_inter >= 0.10 ? "none" : (p_inter >= 0.05 ? "mild"
+                                                            : "strong"),
+                FormatDouble(SgcParityGap(with_graph, d.groups)),
+                FormatDouble(SgcParityGap(without_graph, d.groups))});
+    }
+    std::printf("\n=== A8a: SGC parity gap vs homophily ===\nExpected "
+                "shape: with strong homophily the graph model's gap "
+                "meets or exceeds the featureless baseline; mixing "
+                "dampens the amplification.\n%s\n",
+                t.ToString().c_str());
+  }
+
+  GraphData d = MakeGraph(0.01, 142);
+  SgcModel model;
+  XFAIR_CHECK(model.Fit(d).ok());
+
+  // b. Bias-edge pruning curve [89].
+  {
+    size_t node = 0;
+    for (size_t u = 0; u < d.graph.num_nodes(); ++u) {
+      if (d.graph.Degree(u) >= 4) {
+        node = u;
+        break;
+      }
+    }
+    StructuralBiasOptions opts;
+    opts.max_set_size = 8;
+    auto report = ExplainNodeBias(model, d, node, opts);
+    AsciiTable t({"edges pruned", "parity gap"});
+    Graph pruned = d.graph;
+    t.AddRow({"0", FormatDouble(model.ParityGapOnGraph(
+                        pruned, d.features, d.groups))});
+    size_t k = 0;
+    for (const auto& [u, v] : report.bias_edge_set) {
+      pruned.RemoveEdge(u, v);
+      ++k;
+      t.AddRow({std::to_string(k),
+                FormatDouble(model.ParityGapOnGraph(pruned, d.features,
+                                                    d.groups))});
+    }
+    std::printf("=== A8b: [89] bias-edge pruning around node %zu ===\n"
+                "Expected shape: gap non-increasing along the pruned "
+                "bias-accounting edges.\n%s\n",
+                node, t.ToString().c_str());
+  }
+
+  // c. Node-influence concentration [90].
+  {
+    auto report = ExplainBiasByNodeInfluence(model);
+    XFAIR_CHECK(report.ok());
+    AsciiTable t({"quantity", "value"});
+    t.AddRow({"top-decile |influence| share",
+              FormatDouble(report->top_decile_share)});
+    t.AddRow({"most gap-reducing node influence",
+              FormatDouble(report->influence[report->ranked_nodes.front()],
+                           5)});
+    t.AddRow({"most gap-increasing node influence",
+              FormatDouble(report->influence[report->ranked_nodes.back()],
+                           5)});
+    std::printf("=== A8c: [90] training-node attribution of bias ===\n"
+                "Expected shape: influence concentrated well above the "
+                "uniform 0.10 share.\n%s\n",
+                t.ToString().c_str());
+  }
+}
+
+void BM_SgcFit(benchmark::State& state) {
+  PrintOnce();
+  GraphData d = MakeGraph(0.01, 143);
+  for (auto _ : state) {
+    SgcModel model;
+    benchmark::DoNotOptimize(model.Fit(d));
+  }
+}
+BENCHMARK(BM_SgcFit)->Unit(benchmark::kMillisecond);
+
+void BM_StructuralBiasExplanation(benchmark::State& state) {
+  PrintOnce();
+  GraphData d = MakeGraph(0.01, 144);
+  SgcModel model;
+  XFAIR_CHECK(model.Fit(d).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExplainNodeBias(model, d, 0, {}));
+  }
+}
+BENCHMARK(BM_StructuralBiasExplanation)->Unit(benchmark::kMillisecond);
+
+void BM_NodeInfluence(benchmark::State& state) {
+  PrintOnce();
+  GraphData d = MakeGraph(0.01, 145);
+  SgcModel model;
+  XFAIR_CHECK(model.Fit(d).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExplainBiasByNodeInfluence(model));
+  }
+}
+BENCHMARK(BM_NodeInfluence)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,160 @@
+// Experiment A4 (paper §IV-A recourse): three claims made by the recourse
+// line of work, measured.
+//  1. Independent-feature counterfactuals overstate effort compared with
+//     SCM-aware recourse [65]: intervening on a cause moves its effects
+//     for free.
+//  2. Recourse is unevenly distributed across groups [79]; a recourse-
+//     equalized classifier shrinks that gap.
+//  3. Fair causal recourse [80]: the cost gap between an individual and
+//     their counterfactual twin vanishes when the classifier ignores
+//     S-descendant information, and grows with world disparity.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/causal/worlds.h"
+#include "src/data/generators.h"
+#include "src/explain/counterfactual.h"
+#include "src/mitigate/inprocess.h"
+#include "src/model/metrics.h"
+#include "src/unfair/recourse.h"
+#include "src/util/table.h"
+
+namespace xfair {
+namespace {
+
+void PrintOnce() {
+  static bool printed = false;
+  if (printed) return;
+  printed = true;
+
+  // 1. Independent CF vs causal recourse.
+  {
+    CausalWorld world = MakeCreditWorld(1.0);
+    Dataset data = world.GenerateDataset(600, 101);
+    LogisticRegression model;
+    XFAIR_CHECK(model.Fit(data).ok());
+    auto income = world.scm.dag().IndexOf("income");
+    Rng rng(102);
+    double independent_cost = 0.0, causal_cost = 0.0;
+    size_t evaluated = 0;
+    for (size_t i = 0; i < data.size() && evaluated < 60; ++i) {
+      const Vector x = data.instance(i);
+      if (model.Predict(x) != 0) continue;
+      auto cf =
+          GrowingSpheresCounterfactual(model, data.schema(), x, {}, &rng);
+      auto recourse =
+          FindCausalRecourse(model, world.scm, x, {*income}, {});
+      if (!cf.valid || !recourse.found) continue;
+      // Comparable units: range-normalized distance of the final state.
+      independent_cost += cf.distance;
+      causal_cost +=
+          NormalizedDistance(data.schema(), x, recourse.resulting_state);
+      ++evaluated;
+    }
+    AsciiTable t({"strategy", "mean state change (normalized)"});
+    t.AddRow({"independent-feature CF",
+              FormatDouble(independent_cost / evaluated)});
+    t.AddRow({"SCM intervention on income (effects free)",
+              FormatDouble(causal_cost / evaluated)});
+    std::printf("\n=== A4a: independent CFs vs causal recourse [65] "
+                "(n=%zu denied) ===\nExpected shape: the SCM route moves "
+                "more total state per unit of *intervention* because "
+                "downstream effects come free; the independent CF "
+                "minimizes visible change instead.\n%s\n",
+                evaluated, t.ToString().c_str());
+  }
+
+  // 2. Recourse equalization [79].
+  {
+    BiasConfig cfg;
+    cfg.score_shift = 1.0;
+    Dataset data = CreditGen(cfg).Generate(1500, 103);
+    AsciiTable t({"model", "recourse G+", "recourse G-", "gap",
+                  "accuracy"});
+    LogisticRegression baseline;
+    XFAIR_CHECK(baseline.Fit(data).ok());
+    auto base_report = EvaluateGroupRecourse(baseline, data);
+    t.AddRow({"baseline logistic",
+              FormatDouble(base_report.recourse_protected),
+              FormatDouble(base_report.recourse_non_protected),
+              FormatDouble(base_report.recourse_gap),
+              FormatDouble(Accuracy(baseline, data))});
+    for (double lambda : {1.0, 5.0, 20.0}) {
+      FairTrainingOptions opts;
+      opts.penalty = FairPenalty::kRecourse;
+      opts.lambda = lambda;
+      auto model = TrainFairLogisticRegression(data, opts);
+      XFAIR_CHECK(model.ok());
+      auto report = EvaluateGroupRecourse(*model, data);
+      t.AddRow({"recourse-penalized (lambda=" + FormatDouble(lambda, 0) +
+                    ")",
+                FormatDouble(report.recourse_protected),
+                FormatDouble(report.recourse_non_protected),
+                FormatDouble(report.recourse_gap),
+                FormatDouble(Accuracy(*model, data))});
+    }
+    std::printf("=== A4b: equalizing recourse across groups [79] ===\n"
+                "Expected shape: the baseline's recourse gap shrinks "
+                "monotonically with the penalty weight at modest accuracy "
+                "cost.\n%s\n",
+                t.ToString().c_str());
+  }
+
+  // 3. Fair causal recourse [80] vs world disparity.
+  {
+    AsciiTable t({"world disparity", "cost gap (group)",
+                  "individual unfairness"});
+    for (double disparity : {0.0, 0.75, 1.5}) {
+      CausalWorld world = MakeCreditWorld(disparity);
+      LogisticRegression model;
+      model.SetParameters({0.0, 0.6, 0.4, -0.5, 0.0}, -3.5);
+      auto income = world.scm.dag().IndexOf("income");
+      auto report = EvaluateCausalRecourseFairness(model, world,
+                                                   {*income}, 400, 104);
+      t.AddRow({FormatDouble(disparity, 2), FormatDouble(report.group_gap),
+                FormatDouble(report.individual_unfairness)});
+    }
+    std::printf("=== A4c: fair causal recourse [80] vs disparity ===\n"
+                "Expected shape: both unfairness measures ~0 in the "
+                "disparity-free world and increasing with it.\n%s\n",
+                t.ToString().c_str());
+  }
+}
+
+void BM_CausalRecourseSearch(benchmark::State& state) {
+  PrintOnce();
+  CausalWorld world = MakeCreditWorld(1.0);
+  LogisticRegression model;
+  model.SetParameters({0.0, 0.6, 0.4, -0.5, 0.0}, -3.5);
+  auto income = world.scm.dag().IndexOf("income");
+  auto savings = world.scm.dag().IndexOf("savings");
+  Rng rng(105);
+  Vector x;
+  do {
+    x = world.scm.SampleDo({{world.sensitive, 1.0}}, &rng);
+  } while (model.Predict(x) == 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FindCausalRecourse(model, world.scm, x, {*income, *savings}, {}));
+  }
+}
+BENCHMARK(BM_CausalRecourseSearch)->Unit(benchmark::kMicrosecond);
+
+void BM_GroupRecourse(benchmark::State& state) {
+  PrintOnce();
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(1000, 106);
+  LogisticRegression model;
+  XFAIR_CHECK(model.Fit(data).ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateGroupRecourse(model, data));
+  }
+}
+BENCHMARK(BM_GroupRecourse)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,69 @@
+// Graph fairness (paper SII & SIV-C): a homophilous social graph amplifies
+// group disparity through message passing; structural explainers identify
+// the edges and training nodes responsible.
+//
+//   ./build/examples/example_graph_fairness
+
+#include <cstdio>
+
+#include "src/beyond/node_influence.h"
+#include "src/beyond/structural_bias.h"
+#include "src/graph/sbm.h"
+
+int main() {
+  using namespace xfair;
+
+  SbmConfig cfg;
+  cfg.num_nodes = 400;
+  cfg.p_intra = 0.10;
+  cfg.p_inter = 0.01;  // Strong homophily: groups barely mix.
+  cfg.label_shift = 1.0;
+  cfg.feature_signal = 0.7;
+  GraphData data = GenerateSbm(cfg, 47);
+
+  SgcModel gnn;
+  if (!gnn.Fit(data).ok()) return 1;
+  SgcOptions no_graph;
+  no_graph.hops = 0;
+  SgcModel baseline;
+  if (!baseline.Fit(data, no_graph).ok()) return 1;
+
+  std::printf("parity gap: featureless logistic %.3f vs 2-hop SGC %.3f\n"
+              "(homophilous propagation injects group signal)\n\n",
+              SgcParityGap(baseline, data.groups),
+              SgcParityGap(gnn, data.groups));
+
+  // Structural explanation [89] for one node: which local edges account
+  // for the bias and which support fairness?
+  size_t node = 0;
+  for (size_t u = 0; u < data.graph.num_nodes(); ++u) {
+    if (data.graph.Degree(u) >= 4) {
+      node = u;
+      break;
+    }
+  }
+  auto structural = ExplainNodeBias(gnn, data, node, {});
+  std::printf("node %zu: %zu bias-accounting edges, %zu "
+              "fairness-supporting edges in its computation graph\n",
+              node, structural.bias_edge_set.size(),
+              structural.fairness_edge_set.size());
+  Graph pruned = data.graph;
+  for (const auto& [u, v] : structural.bias_edge_set) {
+    pruned.RemoveEdge(u, v);
+  }
+  std::printf("pruning the bias set moves the global gap %.3f -> %.3f\n\n",
+              gnn.ParityGapOnGraph(data.graph, data.features, data.groups),
+              gnn.ParityGapOnGraph(pruned, data.features, data.groups));
+
+  // Training-node attribution [90]: who teaches the model its bias?
+  auto influence = ExplainBiasByNodeInfluence(gnn);
+  if (influence.ok()) {
+    std::printf("node-influence analysis: top decile of nodes carries "
+                "%.0f%% of bias influence;\n"
+                "most gap-reducing removal: node %zu (influence %+0.4f)\n",
+                100.0 * influence->top_decile_share,
+                influence->ranked_nodes.front(),
+                influence->influence[influence->ranked_nodes.front()]);
+  }
+  return 0;
+}

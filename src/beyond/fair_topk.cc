@@ -1,0 +1,92 @@
+#include "src/beyond/fair_topk.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace xfair {
+
+std::vector<size_t> FairPrefixTargets(size_t k, double p, double alpha) {
+  XFAIR_CHECK(p >= 0.0 && p <= 1.0);
+  XFAIR_CHECK(alpha > 0.0 && alpha < 1.0);
+  std::vector<size_t> targets(k, 0);
+  for (size_t prefix = 1; prefix <= k; ++prefix) {
+    // FA*IR m-table: the smallest m with P(X <= m) > alpha for
+    // X ~ Bin(prefix, p). Seeing fewer than m protected items in the
+    // prefix would then have probability <= alpha — evidence of bias.
+    // P(X <= m) = 1 - P(X >= m + 1).
+    size_t m = 0;
+    while (m < prefix &&
+           1.0 - BinomialTailProb(prefix, m + 1, p) <= alpha) {
+      ++m;
+    }
+    targets[prefix - 1] = m;
+  }
+  return targets;
+}
+
+FairTopKResult BuildFairTopK(const std::vector<double>& scores,
+                             const std::vector<int>& protected_flags,
+                             size_t k, double p, double alpha) {
+  XFAIR_CHECK(scores.size() == protected_flags.size());
+  FairTopKResult result;
+  const size_t n = scores.size();
+  k = std::min(k, n);
+  if (k == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const std::vector<size_t> targets = FairPrefixTargets(k, p, alpha);
+
+  // Two score-sorted queues, one per group.
+  std::vector<size_t> prot, nonprot;
+  for (size_t i = 0; i < n; ++i) {
+    (protected_flags[i] == 1 ? prot : nonprot).push_back(i);
+  }
+  auto by_score = [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::sort(prot.begin(), prot.end(), by_score);
+  std::sort(nonprot.begin(), nonprot.end(), by_score);
+
+  size_t pi = 0, qi = 0, protected_taken = 0;
+  result.feasible = true;
+  for (size_t rank = 0; rank < k; ++rank) {
+    const size_t required = targets[rank];
+    const bool must_take_protected =
+        protected_taken < required && pi < prot.size();
+    if (protected_taken < required && pi >= prot.size()) {
+      result.feasible = false;  // Supply exhausted: constraint unmeetable.
+    }
+    size_t chosen;
+    if (must_take_protected) {
+      chosen = prot[pi++];
+      // It is a promotion if a better non-protected item was available.
+      if (qi < nonprot.size() &&
+          scores[nonprot[qi]] > scores[chosen]) {
+        ++result.swaps;
+      }
+    } else if (pi < prot.size() &&
+               (qi >= nonprot.size() || by_score(prot[pi], nonprot[qi]))) {
+      chosen = prot[pi++];
+    } else if (qi < nonprot.size()) {
+      chosen = nonprot[qi++];
+    } else {
+      break;  // Both queues empty.
+    }
+    protected_taken += static_cast<size_t>(protected_flags[chosen] == 1);
+    result.ranking.push_back(chosen);
+  }
+  // Final feasibility check against the targets actually required.
+  size_t seen = 0;
+  for (size_t rank = 0; rank < result.ranking.size(); ++rank) {
+    seen += static_cast<size_t>(
+        protected_flags[result.ranking[rank]] == 1);
+    if (seen < targets[rank]) result.feasible = false;
+  }
+  return result;
+}
+
+}  // namespace xfair

@@ -1,0 +1,39 @@
+// Probability-based fair top-k reranking (paper §II "probability-based
+// fairness" [23], in the FA*IR style): enforce, at every prefix of the
+// ranking, the minimum number of protected items that a fair coin with
+// the target proportion would produce with probability >= alpha —
+// i.e. make FairPrefixPValue's test pass by construction.
+
+#ifndef XFAIR_BEYOND_FAIR_TOPK_H_
+#define XFAIR_BEYOND_FAIR_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xfair {
+
+/// Minimum protected count required at each prefix length 1..k so that
+/// P(Binomial(prefix, p) < count) <= 1 - alpha; the classic FA*IR
+/// m-table. `p` is the target protected proportion, alpha the
+/// significance level of the underlying test (e.g. 0.1).
+std::vector<size_t> FairPrefixTargets(size_t k, double p, double alpha);
+
+/// Result of the constrained reranking.
+struct FairTopKResult {
+  /// Item ids in final order (size <= k).
+  std::vector<size_t> ranking;
+  bool feasible = false;  ///< Whether every prefix target was met.
+  size_t swaps = 0;       ///< Items promoted past better-scored ones.
+};
+
+/// Builds a top-k from candidates sorted by preference: at each rank,
+/// takes the best-scored remaining item unless the m-table requires a
+/// protected item, in which case the best-scored remaining *protected*
+/// item is promoted. `scores[i]`/`protected_flags[i]` describe item i.
+FairTopKResult BuildFairTopK(const std::vector<double>& scores,
+                             const std::vector<int>& protected_flags,
+                             size_t k, double p, double alpha);
+
+}  // namespace xfair
+
+#endif  // XFAIR_BEYOND_FAIR_TOPK_H_

@@ -1,0 +1,103 @@
+#include "src/beyond/kg_rerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/fairness/ranking_metrics.h"
+#include "src/util/check.h"
+
+namespace xfair {
+namespace {
+
+double ExposureOf(const std::vector<ExplainedCandidate>& candidates,
+                  const std::vector<size_t>& ranking) {
+  double total = 0.0, prot = 0.0;
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    const double w = PositionBias(r);
+    total += w;
+    if (candidates[ranking[r]].item_group == 1) prot += w;
+  }
+  return total > 0.0 ? prot / total : 0.0;
+}
+
+double PathEntropy(const std::vector<ExplainedCandidate>& candidates,
+                   const std::vector<size_t>& ranking) {
+  std::map<int, size_t> counts;
+  for (size_t idx : ranking) ++counts[candidates[idx].path_type];
+  double entropy = 0.0;
+  const double n = static_cast<double>(ranking.size());
+  for (const auto& [type, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+KgRerankResult FairRerank(const std::vector<ExplainedCandidate>& candidates,
+                          const KgRerankOptions& options) {
+  KgRerankResult result;
+  if (candidates.empty()) return result;
+
+  // Baseline: rank by relevance.
+  std::vector<size_t> order(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (candidates[a].relevance != candidates[b].relevance)
+      return candidates[a].relevance > candidates[b].relevance;
+    return a < b;
+  });
+  const size_t k = std::min(options.top_k, order.size());
+  std::vector<size_t> topk(order.begin(),
+                           order.begin() + static_cast<long>(k));
+  std::vector<size_t> pool(order.begin() + static_cast<long>(k),
+                           order.end());
+  result.exposure_before = ExposureOf(candidates, topk);
+
+  // Greedy swaps: replace the lowest-relevance non-protected item in the
+  // top-k with the highest-relevance protected item from the pool, until
+  // the constraint holds or no swap remains.
+  double relevance_loss = 0.0;
+  while (ExposureOf(candidates, topk) <
+         options.min_protected_exposure) {
+    // Victim: last-ranked non-protected item.
+    size_t victim_pos = topk.size();
+    for (size_t r = topk.size(); r-- > 0;) {
+      if (candidates[topk[r]].item_group == 0) {
+        victim_pos = r;
+        break;
+      }
+    }
+    if (victim_pos == topk.size()) break;  // Already all protected.
+    // Replacement: best protected candidate in the pool.
+    size_t repl_idx = pool.size();
+    for (size_t p = 0; p < pool.size(); ++p) {
+      if (candidates[pool[p]].item_group == 1) {
+        repl_idx = p;
+        break;  // Pool is relevance-sorted.
+      }
+    }
+    if (repl_idx == pool.size()) break;  // No protected supply.
+    relevance_loss += candidates[topk[victim_pos]].relevance -
+                      candidates[pool[repl_idx]].relevance;
+    std::swap(topk[victim_pos], pool[repl_idx]);
+    // Keep the top-k relevance-sorted so exposure weights stay sensible.
+    std::sort(topk.begin(), topk.end(), [&](size_t a, size_t b) {
+      if (candidates[a].relevance != candidates[b].relevance)
+        return candidates[a].relevance > candidates[b].relevance;
+      return a < b;
+    });
+  }
+
+  result.ranking = std::move(topk);
+  result.exposure_after = ExposureOf(candidates, result.ranking);
+  result.relevance_loss = relevance_loss;
+  result.path_diversity = PathEntropy(candidates, result.ranking);
+  result.constraint_met =
+      result.exposure_after >= options.min_protected_exposure - 1e-12;
+  return result;
+}
+
+}  // namespace xfair

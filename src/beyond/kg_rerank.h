@@ -1,0 +1,50 @@
+// Fairness-aware reranking of explainable (KG-path) recommendations [44]
+// (paper §IV-C): recommendations arrive with knowledge-graph-path
+// explanations; the reranker swaps items in the top-k until the protected
+// producer group's exposure meets a constraint, preferring swaps that cost
+// the least relevance and keeping the path-type diversity of the
+// surviving explanations measurable.
+
+#ifndef XFAIR_BEYOND_KG_RERANK_H_
+#define XFAIR_BEYOND_KG_RERANK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xfair {
+
+/// One candidate recommendation with its path-based explanation.
+struct ExplainedCandidate {
+  size_t item = 0;
+  double relevance = 0.0;
+  int item_group = 0;   ///< 1 = protected producer.
+  int path_type = 0;    ///< Id of the KG path pattern explaining it.
+};
+
+/// Options for FairRerank.
+struct KgRerankOptions {
+  size_t top_k = 10;
+  /// Required minimum share of exposure for protected items in the top-k.
+  double min_protected_exposure = 0.3;
+};
+
+/// Result of reranking one candidate list.
+struct KgRerankResult {
+  std::vector<size_t> ranking;  ///< Indices into the candidate list.
+  double exposure_before = 0.0;
+  double exposure_after = 0.0;
+  double relevance_loss = 0.0;  ///< Total relevance given up by swaps.
+  /// Shannon entropy (nats) of path types in the final top-k — the
+  /// explanation-diversity metric.
+  double path_diversity = 0.0;
+  bool constraint_met = false;
+};
+
+/// Reranks `candidates` (any order) into a top-k satisfying the exposure
+/// constraint with minimal relevance loss (greedy lowest-cost swaps).
+KgRerankResult FairRerank(const std::vector<ExplainedCandidate>& candidates,
+                          const KgRerankOptions& options);
+
+}  // namespace xfair
+
+#endif  // XFAIR_BEYOND_KG_RERANK_H_

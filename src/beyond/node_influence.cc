@@ -1,0 +1,44 @@
+#include "src/beyond/node_influence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/explain/influence.h"
+
+namespace xfair {
+
+Result<NodeInfluenceReport> ExplainBiasByNodeInfluence(
+    const SgcModel& model) {
+  XFAIR_CHECK_MSG(model.fitted(), "model not fitted");
+  const Dataset& propagated = model.propagated_dataset();
+  auto analyzer = InfluenceAnalyzer::Create(model.head(), propagated);
+  if (!analyzer.ok()) return analyzer.status();
+
+  NodeInfluenceReport report;
+  report.influence = analyzer->InfluenceOnParityGap(propagated);
+  const size_t n = report.influence.size();
+  report.ranked_nodes.resize(n);
+  for (size_t u = 0; u < n; ++u) report.ranked_nodes[u] = u;
+  // Most gap-reducing removals first. Removing node u changes the gap by
+  // influence[u]; gap > 0 means G+ is disadvantaged, so reductions are the
+  // most negative influences.
+  std::sort(report.ranked_nodes.begin(), report.ranked_nodes.end(),
+            [&](size_t a, size_t b) {
+              return report.influence[a] < report.influence[b];
+            });
+
+  Vector magnitude(n);
+  for (size_t u = 0; u < n; ++u)
+    magnitude[u] = std::fabs(report.influence[u]);
+  std::sort(magnitude.rbegin(), magnitude.rend());
+  double total = 0.0, top = 0.0;
+  const size_t decile = std::max<size_t>(1, n / 10);
+  for (size_t u = 0; u < n; ++u) {
+    total += magnitude[u];
+    if (u < decile) top += magnitude[u];
+  }
+  report.top_decile_share = total > 0.0 ? top / total : 0.0;
+  return report;
+}
+
+}  // namespace xfair

@@ -1,0 +1,34 @@
+// Training-node attribution of GNN bias [90] (paper §IV-C): estimate each
+// training node's influence on the model's group disparity and rank the
+// nodes whose removal would most reduce it. Because the SGC head is
+// logistic regression over propagated features, the classic influence-
+// function machinery applies directly to the propagated dataset.
+
+#ifndef XFAIR_BEYOND_NODE_INFLUENCE_H_
+#define XFAIR_BEYOND_NODE_INFLUENCE_H_
+
+#include "src/graph/sgc.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Ranked node attributions.
+struct NodeInfluenceReport {
+  /// influence[u]: first-order change in the score-space parity gap if
+  /// node u were removed from training (positive = removal widens it).
+  Vector influence;
+  /// Nodes sorted so that the most gap-reducing removals come first.
+  std::vector<size_t> ranked_nodes;
+  /// Fraction of total |influence| mass carried by the top 10% of nodes —
+  /// bias concentration (the [90] observation that few nodes drive bias).
+  double top_decile_share = 0.0;
+};
+
+/// Computes per-node influence on the SGC parity gap. Returns
+/// kFailedPrecondition if the head's Hessian is singular.
+Result<NodeInfluenceReport> ExplainBiasByNodeInfluence(
+    const SgcModel& model);
+
+}  // namespace xfair
+
+#endif  // XFAIR_BEYOND_NODE_INFLUENCE_H_

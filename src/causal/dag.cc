@@ -1,0 +1,145 @@
+#include "src/causal/dag.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+size_t Dag::AddNode(const std::string& name) {
+  for (const auto& n : names_) XFAIR_CHECK_MSG(n != name, "duplicate node");
+  names_.push_back(name);
+  parents_.emplace_back();
+  children_.emplace_back();
+  return names_.size() - 1;
+}
+
+Status Dag::AddEdge(size_t from, size_t to) {
+  XFAIR_CHECK(from < num_nodes() && to < num_nodes());
+  if (from == to) return Status::FailedPrecondition("self-loop");
+  if (HasEdge(from, to)) return Status::OK();  // Idempotent.
+  if (Reaches(to, from)) {
+    return Status::FailedPrecondition("edge " + names_[from] + "->" +
+                                      names_[to] + " would create a cycle");
+  }
+  parents_[to].push_back(from);
+  children_[from].push_back(to);
+  return Status::OK();
+}
+
+const std::string& Dag::name(size_t i) const {
+  XFAIR_CHECK(i < num_nodes());
+  return names_[i];
+}
+
+Result<size_t> Dag::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return i;
+  return Status::NotFound("no node named " + name);
+}
+
+const std::vector<size_t>& Dag::parents(size_t i) const {
+  XFAIR_CHECK(i < num_nodes());
+  return parents_[i];
+}
+
+const std::vector<size_t>& Dag::children(size_t i) const {
+  XFAIR_CHECK(i < num_nodes());
+  return children_[i];
+}
+
+bool Dag::HasEdge(size_t from, size_t to) const {
+  XFAIR_CHECK(from < num_nodes() && to < num_nodes());
+  const auto& ch = children_[from];
+  return std::find(ch.begin(), ch.end(), to) != ch.end();
+}
+
+bool Dag::Reaches(size_t from, size_t to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<size_t> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    for (size_t v : children_[u]) {
+      if (v == to) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> Dag::TopologicalOrder() const {
+  std::vector<size_t> in_degree(num_nodes(), 0);
+  for (size_t i = 0; i < num_nodes(); ++i)
+    in_degree[i] = parents_[i].size();
+  std::vector<size_t> queue, order;
+  for (size_t i = 0; i < num_nodes(); ++i)
+    if (in_degree[i] == 0) queue.push_back(i);
+  while (!queue.empty()) {
+    const size_t u = queue.back();
+    queue.pop_back();
+    order.push_back(u);
+    for (size_t v : children_[u]) {
+      if (--in_degree[v] == 0) queue.push_back(v);
+    }
+  }
+  XFAIR_CHECK_MSG(order.size() == num_nodes(), "graph contains a cycle");
+  return order;
+}
+
+std::vector<std::vector<size_t>> Dag::AllPaths(size_t from, size_t to) const {
+  XFAIR_CHECK(from < num_nodes() && to < num_nodes());
+  std::vector<std::vector<size_t>> paths;
+  std::vector<size_t> current = {from};
+  // DFS; the graph is acyclic so no visited set is needed.
+  struct Frame {
+    size_t node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack = {{from, 0}};
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.node == to) {
+      paths.push_back(current);
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const auto& ch = children_[top.node];
+    if (top.next_child >= ch.size()) {
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const size_t v = ch[top.next_child++];
+    stack.push_back({v, 0});
+    current.push_back(v);
+  }
+  return paths;
+}
+
+std::vector<size_t> Dag::Descendants(size_t from) const {
+  XFAIR_CHECK(from < num_nodes());
+  std::vector<bool> seen(num_nodes(), false);
+  std::vector<size_t> stack = {from}, out;
+  while (!stack.empty()) {
+    const size_t u = stack.back();
+    stack.pop_back();
+    for (size_t v : children_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        out.push_back(v);
+        stack.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xfair

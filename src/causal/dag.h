@@ -1,0 +1,54 @@
+// Directed acyclic graph over named variables — the causal diagram shared
+// by the SCM, actionable recourse, and causal-path decomposition.
+
+#ifndef XFAIR_CAUSAL_DAG_H_
+#define XFAIR_CAUSAL_DAG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// DAG with string-named nodes. Node indices are assigned in insertion
+/// order and are stable.
+class Dag {
+ public:
+  /// Adds a node; name must be unique. Returns its index.
+  size_t AddNode(const std::string& name);
+
+  /// Adds edge from -> to (indices must exist). Returns
+  /// kFailedPrecondition if the edge would create a cycle.
+  Status AddEdge(size_t from, size_t to);
+
+  size_t num_nodes() const { return names_.size(); }
+  const std::string& name(size_t i) const;
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  const std::vector<size_t>& parents(size_t i) const;
+  const std::vector<size_t>& children(size_t i) const;
+  bool HasEdge(size_t from, size_t to) const;
+
+  /// Node indices in a topological order (parents before children).
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// All directed paths from `from` to `to`, each as a node sequence
+  /// starting with `from` and ending with `to`.
+  std::vector<std::vector<size_t>> AllPaths(size_t from, size_t to) const;
+
+  /// Nodes reachable from `from` by directed edges (descendants,
+  /// excluding `from` itself).
+  std::vector<size_t> Descendants(size_t from) const;
+
+ private:
+  bool Reaches(size_t from, size_t to) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::vector<size_t>> parents_;
+  std::vector<std::vector<size_t>> children_;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_CAUSAL_DAG_H_

@@ -1,0 +1,165 @@
+#include "src/causal/scm.h"
+
+#include <cmath>
+
+namespace xfair {
+
+Scm::Scm(Dag dag) : dag_(std::move(dag)) {
+  const size_t n = dag_.num_nodes();
+  weights_.resize(n);
+  for (size_t i = 0; i < n; ++i)
+    weights_[i].assign(dag_.parents(i).size(), 0.0);
+  biases_.assign(n, 0.0);
+  noise_std_.assign(n, 1.0);
+  topo_ = dag_.TopologicalOrder();
+}
+
+void Scm::SetEquation(size_t i, Vector parent_weights, double bias,
+                      double noise_std) {
+  XFAIR_CHECK(i < num_vars());
+  XFAIR_CHECK(parent_weights.size() == dag_.parents(i).size());
+  XFAIR_CHECK(noise_std >= 0.0);
+  weights_[i] = std::move(parent_weights);
+  biases_[i] = bias;
+  noise_std_[i] = noise_std;
+}
+
+double Scm::bias(size_t i) const {
+  XFAIR_CHECK(i < num_vars());
+  return biases_[i];
+}
+
+double Scm::noise_std(size_t i) const {
+  XFAIR_CHECK(i < num_vars());
+  return noise_std_[i];
+}
+
+double Scm::EdgeWeight(size_t parent, size_t i) const {
+  XFAIR_CHECK(parent < num_vars() && i < num_vars());
+  const auto& pa = dag_.parents(i);
+  for (size_t k = 0; k < pa.size(); ++k)
+    if (pa[k] == parent) return weights_[i][k];
+  return 0.0;
+}
+
+Vector Scm::Sample(Rng* rng) const { return SampleDo({}, rng); }
+
+Vector Scm::SampleDo(const std::vector<Intervention>& dos, Rng* rng) const {
+  XFAIR_CHECK(rng != nullptr);
+  Vector x(num_vars(), 0.0);
+  std::vector<bool> forced(num_vars(), false);
+  Vector forced_value(num_vars(), 0.0);
+  for (const auto& d : dos) {
+    XFAIR_CHECK(d.node < num_vars());
+    forced[d.node] = true;
+    forced_value[d.node] = d.value;
+  }
+  for (size_t i : topo_) {
+    if (forced[i]) {
+      x[i] = forced_value[i];
+      continue;
+    }
+    double v = biases_[i] + rng->Normal(0.0, noise_std_[i]);
+    const auto& pa = dag_.parents(i);
+    for (size_t k = 0; k < pa.size(); ++k) v += weights_[i][k] * x[pa[k]];
+    x[i] = v;
+  }
+  return x;
+}
+
+Vector Scm::Abduct(const Vector& x) const {
+  XFAIR_CHECK(x.size() == num_vars());
+  Vector u(num_vars(), 0.0);
+  for (size_t i = 0; i < num_vars(); ++i) {
+    double structural = biases_[i];
+    const auto& pa = dag_.parents(i);
+    for (size_t k = 0; k < pa.size(); ++k)
+      structural += weights_[i][k] * x[pa[k]];
+    u[i] = x[i] - structural;
+  }
+  return u;
+}
+
+Vector Scm::Counterfactual(const Vector& x,
+                           const std::vector<Intervention>& dos) const {
+  const Vector u = Abduct(x);
+  Vector cf(num_vars(), 0.0);
+  std::vector<bool> forced(num_vars(), false);
+  Vector forced_value(num_vars(), 0.0);
+  for (const auto& d : dos) {
+    XFAIR_CHECK(d.node < num_vars());
+    forced[d.node] = true;
+    forced_value[d.node] = d.value;
+  }
+  for (size_t i : topo_) {
+    if (forced[i]) {
+      cf[i] = forced_value[i];
+      continue;
+    }
+    double v = biases_[i] + u[i];
+    const auto& pa = dag_.parents(i);
+    for (size_t k = 0; k < pa.size(); ++k) v += weights_[i][k] * cf[pa[k]];
+    cf[i] = v;
+  }
+  return cf;
+}
+
+Status Scm::FitFromData(const Matrix& data) {
+  if (data.cols() != num_vars()) {
+    return Status::InvalidArgument("data width must equal variable count");
+  }
+  if (data.rows() < num_vars() + 1) {
+    return Status::InvalidArgument("too few rows to fit SCM");
+  }
+  const size_t n = data.rows();
+  for (size_t i = 0; i < num_vars(); ++i) {
+    const auto& pa = dag_.parents(i);
+    const size_t p = pa.size();
+    // OLS of column i on parents + intercept via normal equations.
+    Matrix xtx(p + 1, p + 1);
+    Vector xty(p + 1, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+      Vector row(p + 1);
+      row[0] = 1.0;
+      for (size_t k = 0; k < p; ++k) row[k + 1] = data.At(r, pa[k]);
+      const double y = data.At(r, i);
+      for (size_t a = 0; a <= p; ++a) {
+        xty[a] += row[a] * y;
+        for (size_t b = 0; b <= p; ++b) xtx.At(a, b) += row[a] * row[b];
+      }
+    }
+    // Tiny ridge for numerical stability of near-collinear parents.
+    for (size_t a = 0; a <= p; ++a) xtx.At(a, a) += 1e-9;
+    Result<Vector> beta = SolveLinearSystem(std::move(xtx), std::move(xty));
+    if (!beta.ok()) return beta.status();
+    biases_[i] = (*beta)[0];
+    for (size_t k = 0; k < p; ++k) weights_[i][k] = (*beta)[k + 1];
+    // Residual standard deviation.
+    double ss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double pred = biases_[i];
+      for (size_t k = 0; k < p; ++k)
+        pred += weights_[i][k] * data.At(r, pa[k]);
+      const double e = data.At(r, i) - pred;
+      ss += e * e;
+    }
+    noise_std_[i] = std::sqrt(ss / static_cast<double>(n));
+  }
+  return Status::OK();
+}
+
+double Scm::TotalEffect(size_t source, size_t target, double value0,
+                        double value1) const {
+  XFAIR_CHECK(source < num_vars() && target < num_vars());
+  if (source == target) return value1 - value0;
+  double gain = 0.0;
+  for (const auto& path : dag_.AllPaths(source, target)) {
+    double w = 1.0;
+    for (size_t k = 0; k + 1 < path.size(); ++k)
+      w *= EdgeWeight(path[k], path[k + 1]);
+    gain += w;
+  }
+  return gain * (value1 - value0);
+}
+
+}  // namespace xfair

@@ -1,0 +1,91 @@
+#include "src/causal/worlds.h"
+
+#include <cmath>
+
+namespace xfair {
+
+double CausalWorld::LabelProba(const Vector& x) const {
+  const double z = Dot(label_weights, x) + label_bias;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+Dataset CausalWorld::GenerateDataset(size_t n, uint64_t seed) const {
+  Rng rng(seed);
+  const size_t d = scm.num_vars();
+  Matrix x(n, d);
+  std::vector<int> labels(n), groups(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int g = rng.Bernoulli(0.5) ? 1 : 0;
+    Vector row = scm.SampleDo(
+        {{sensitive, static_cast<double>(g)}}, &rng);
+    x.SetRow(i, row);
+    groups[i] = g;
+    labels[i] = rng.Bernoulli(LabelProba(row)) ? 1 : 0;
+  }
+  std::vector<FeatureSpec> specs(d);
+  for (size_t c = 0; c < d; ++c) {
+    specs[c].name = scm.dag().name(c);
+    specs[c].kind =
+        c == sensitive ? FeatureKind::kBinary : FeatureKind::kNumeric;
+    specs[c].actionability =
+        c == sensitive ? Actionability::kImmutable : Actionability::kAny;
+    specs[c].lower = -1e3;
+    specs[c].upper = 1e3;
+  }
+  Schema schema(std::move(specs), static_cast<int>(sensitive));
+  return Dataset(std::move(schema), std::move(x), std::move(labels),
+                 std::move(groups));
+}
+
+CausalWorld MakeCreditWorld(double disparity) {
+  Dag dag;
+  const size_t s = dag.AddNode("S");
+  const size_t income = dag.AddNode("income");
+  const size_t savings = dag.AddNode("savings");
+  const size_t debt = dag.AddNode("debt");
+  const size_t zip = dag.AddNode("zip_risk");
+  XFAIR_CHECK(dag.AddEdge(s, income).ok());
+  XFAIR_CHECK(dag.AddEdge(s, zip).ok());
+  XFAIR_CHECK(dag.AddEdge(income, savings).ok());
+  XFAIR_CHECK(dag.AddEdge(income, debt).ok());
+
+  Scm scm(std::move(dag));
+  // S is exogenous; its value is always forced when sampling datasets.
+  scm.SetEquation(s, {}, 0.0, 0.0);
+  scm.SetEquation(income, {-1.0 * disparity}, 5.0, 1.0);   // pa: S
+  scm.SetEquation(savings, {0.8}, 1.0, 0.8);               // pa: income
+  scm.SetEquation(debt, {-0.5}, 6.0, 0.9);                 // pa: income
+  scm.SetEquation(zip, {3.0}, 2.0, 0.7);                   // pa: S
+
+  CausalWorld world{std::move(scm), s,
+                    /*label_weights=*/{0.0, 0.6, 0.4, -0.5, 0.0},
+                    /*label_bias=*/-3.5};
+  return world;
+}
+
+CausalWorld MakeEducationWorld(double disparity) {
+  Dag dag;
+  const size_t s = dag.AddNode("S");
+  const size_t education = dag.AddNode("education");
+  const size_t income = dag.AddNode("income");
+  const size_t savings = dag.AddNode("savings");
+  const size_t zip = dag.AddNode("zip_risk");
+  XFAIR_CHECK(dag.AddEdge(s, income).ok());
+  XFAIR_CHECK(dag.AddEdge(education, income).ok());
+  XFAIR_CHECK(dag.AddEdge(income, savings).ok());
+  XFAIR_CHECK(dag.AddEdge(s, zip).ok());
+
+  Scm scm(std::move(dag));
+  scm.SetEquation(s, {}, 0.0, 0.0);
+  scm.SetEquation(education, {}, 12.0, 2.0);  // S-independent.
+  scm.SetEquation(income, {-1.0 * disparity, 0.4}, 0.5, 1.0);  // pa: S, edu
+  scm.SetEquation(savings, {0.8}, 1.0, 0.8);                   // pa: income
+  scm.SetEquation(zip, {3.0}, 2.0, 0.7);                       // pa: S
+
+  CausalWorld world{std::move(scm), s,
+                    /*label_weights=*/{0.0, 0.35, 0.45, 0.3, 0.0},
+                    /*label_bias=*/-8.5};
+  return world;
+}
+
+}  // namespace xfair

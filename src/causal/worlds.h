@@ -1,0 +1,51 @@
+// Ground-truth causal worlds.
+//
+// The causal recourse literature ([65], [80], [10], [82]) assumes a known
+// SCM; real deployments fit one. Since no proprietary SCM can ship here, we
+// provide a canonical synthetic "credit world" with a known graph
+//   S -> income -> savings -> .  S -> zip_risk.  income -> debt.
+// so that every causal method in the library can be verified in closed
+// form against the generating mechanism.
+
+#ifndef XFAIR_CAUSAL_WORLDS_H_
+#define XFAIR_CAUSAL_WORLDS_H_
+
+#include "src/causal/scm.h"
+#include "src/data/dataset.h"
+
+namespace xfair {
+
+/// A synthetic causal world: an SCM, the index of its binary sensitive
+/// variable, and a logistic labeler over the SCM variables.
+struct CausalWorld {
+  Scm scm;
+  size_t sensitive;       ///< Node index of the protected attribute.
+  Vector label_weights;   ///< Logistic label model over all variables.
+  double label_bias;
+
+  /// P(y=1 | x) under the world's labeler.
+  double LabelProba(const Vector& x) const;
+
+  /// Samples a dataset whose columns are the SCM variables in node order
+  /// (sensitive variable first by construction) and whose labels follow
+  /// the logistic labeler. The schema marks the sensitive column immutable.
+  Dataset GenerateDataset(size_t n, uint64_t seed) const;
+};
+
+/// The canonical 5-variable credit world:
+///   S (binary, exogenous) -> income, zip_risk;
+///   income -> savings, debt.
+/// `disparity` scales the S -> income edge (how strongly group membership
+/// suppresses income).
+CausalWorld MakeCreditWorld(double disparity = 1.0);
+
+/// A 5-variable world with a *non-descendant* of S:
+///   S -> income -> savings;  S -> zip_risk;  education (exogenous,
+///   S-independent) -> income and the label.
+/// Counterfactually fair prediction is possible here by using education
+/// only — the fixture for causal feature-selection mitigation.
+CausalWorld MakeEducationWorld(double disparity = 1.0);
+
+}  // namespace xfair
+
+#endif  // XFAIR_CAUSAL_WORLDS_H_

@@ -1,0 +1,75 @@
+// Executable registry of every implemented explaining-unfairness approach.
+//
+// Each entry carries (a) the Table I classification of the surveyed method
+// along the taxonomy axes and (b) a runner that executes this library's
+// implementation on the standard synthetic fixtures and returns a one-line
+// measured summary. bench_table1 walks the registry to regenerate Table I
+// with a live "measured" column.
+
+#ifndef XFAIR_CORE_REGISTRY_H_
+#define XFAIR_CORE_REGISTRY_H_
+
+#include <functional>
+#include <string>
+
+#include "src/causal/worlds.h"
+#include "src/core/taxonomy.h"
+#include "src/data/generators.h"
+#include "src/graph/sbm.h"
+#include "src/graph/sgc.h"
+#include "src/model/logistic_regression.h"
+#include "src/rec/interactions.h"
+
+namespace xfair {
+
+/// Shared fixtures every registry runner executes against. Built once and
+/// reused: a planted-bias credit dataset + trained model, the canonical
+/// causal world, a biased recommendation world, and a homophilous graph
+/// with a fitted SGC.
+struct RunContext {
+  Dataset credit;
+  LogisticRegression credit_model;
+  CausalWorld world = MakeCreditWorld(1.0);
+  Dataset world_data;
+  LogisticRegression world_model;
+  RecWorld rec;
+  GraphData graph;
+  SgcModel sgc;
+  uint64_t seed = 0;
+
+  /// Builds all fixtures deterministically from `seed`.
+  static RunContext Make(uint64_t seed);
+};
+
+/// One registered approach.
+struct ApproachDescriptor {
+  std::string citation;  ///< Table I row key, e.g. "[72]".
+  std::string name;      ///< Human name, e.g. "CERTIFAI burden".
+  bool in_table1 = true; ///< False for §IV-text methods Table I omits.
+
+  // Figure 2 classification.
+  ExplanationStage stage = ExplanationStage::kPostHoc;
+  ModelAccess access = ModelAccess::kBlackBox;
+  Agnosticism agnostic = Agnosticism::kAgnostic;
+  Coverage coverage = Coverage::kGlobal;
+  std::string explanation_type;  ///< "CFE", "Shapley", "Recourse", ...
+  std::string output;            ///< Table I "Output" column.
+
+  // Figure 1 classification.
+  FairnessLevel level = FairnessLevel::kGroup;
+  std::string fairness_type;  ///< Table I "Type" column.
+  FairnessTask task = FairnessTask::kClassification;
+  Goals goals;
+
+  /// Runs this library's implementation on the fixtures; returns a short
+  /// measured summary for the live Table I column.
+  std::function<std::string(const RunContext&)> runner;
+};
+
+/// All registered approaches, in Table I row order followed by the
+/// §IV-text extras.
+const std::vector<ApproachDescriptor>& ApproachRegistry();
+
+}  // namespace xfair
+
+#endif  // XFAIR_CORE_REGISTRY_H_

@@ -1,0 +1,93 @@
+#include "src/core/report.h"
+
+#include <algorithm>
+
+#include "src/fairness/group_metrics.h"
+#include "src/fairness/tradeoff.h"
+#include "src/unfair/burden.h"
+#include "src/unfair/facts.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/util/table.h"
+
+namespace xfair {
+
+std::string WriteAuditReport(const Model& model, const Dataset& data,
+                             const AuditReportOptions& options) {
+  std::string out = "# xfair audit report\n\n";
+  out += "Model: " + model.name() + "; instances: " +
+         std::to_string(data.size()) + "; protected share: " +
+         FormatDouble(static_cast<double>(data.GroupIndices(1).size()) /
+                          std::max<size_t>(1, data.size()),
+                      3) +
+         "\n\n";
+
+  // Group fairness metrics.
+  const GroupFairnessReport group = EvaluateGroupFairness(model, data);
+  out += "## Group fairness (Figure 1 metrics)\n\n";
+  out += group.ToString();
+  const bool fails_80 = group.disparate_impact_ratio < 0.8;
+  out += std::string("\nVerdict: disparate impact ") +
+         FormatDouble(group.disparate_impact_ratio) +
+         (fails_80 ? " FAILS" : " passes") + " the 80% rule.\n\n";
+
+  // Effort disparity (burden).
+  if (options.include_counterfactual_sections) {
+    Rng rng(options.seed);
+    const BurdenReport burden =
+        ComputeBurden(model, data, BurdenScope::kAllNegatives, {}, &rng);
+    out += "## Counterfactual burden [72]\n\n";
+    out += "Protected group burden " +
+           FormatDouble(burden.burden_protected) + " vs non-protected " +
+           FormatDouble(burden.burden_non_protected) + " (gap " +
+           FormatDouble(burden.burden_gap) + "; " +
+           std::to_string(burden.failures) + " searches failed).\n\n";
+  }
+
+  // Feature attribution of the gap.
+  {
+    FairnessShapOptions shap_opts;
+    shap_opts.seed = options.seed;
+    const auto shap = ExplainParityWithShapley(model, data, shap_opts);
+    out += "## Parity-gap contributors (fairness Shapley [81])\n\n";
+    AsciiTable t({"feature", "contribution"});
+    const size_t k =
+        std::min(options.top_contributors, shap.ranked_features.size());
+    for (size_t i = 0; i < k; ++i) {
+      const size_t c = shap.ranked_features[i];
+      t.AddRow({shap.feature_names[c],
+                FormatDouble(shap.contributions[c])});
+    }
+    out += t.ToString() + "\n";
+  }
+
+  // Subgroup recourse bias.
+  if (options.include_counterfactual_sections) {
+    FactsOptions facts_opts;
+    facts_opts.top_k = options.top_subgroups;
+    const auto facts = RunFacts(model, data, facts_opts);
+    out += "## Recourse-bias subgroups (FACTS [77])\n\n";
+    if (facts.ranked_subgroups.empty()) {
+      out += "No auditable subgroups (too few denied instances).\n\n";
+    } else {
+      AsciiTable t({"subgroup", "eff G+", "eff G-", "unfairness"});
+      for (const auto& sg : facts.ranked_subgroups) {
+        t.AddRow({sg.description,
+                  FormatDouble(sg.best_effectiveness_protected),
+                  FormatDouble(sg.best_effectiveness_non_protected),
+                  FormatDouble(sg.unfairness)});
+      }
+      out += t.ToString() + "\n";
+    }
+  }
+
+  // Combined tradeoff.
+  const TradeoffScore score = EvaluateTradeoff(model, data);
+  out += "## Utility / fairness / explainability tradeoff\n\n";
+  out += "utility " + FormatDouble(score.utility) + ", fairness " +
+         FormatDouble(score.fairness) + ", explainability " +
+         FormatDouble(score.explainability) + " -> combined " +
+         FormatDouble(score.combined) + "\n";
+  return out;
+}
+
+}  // namespace xfair

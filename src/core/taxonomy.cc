@@ -1,0 +1,113 @@
+#include "src/core/taxonomy.h"
+
+namespace xfair {
+
+std::string Goals::ToString() const {
+  std::string out;
+  auto add = [&out](const char* tag) {
+    if (!out.empty()) out += ", ";
+    out += tag;
+  };
+  if (enhance_metrics) add("E");
+  if (understand_causes) add("U");
+  if (mitigate) add("M");
+  return out.empty() ? "-" : out;
+}
+
+const char* ToString(ExplanationStage v) {
+  switch (v) {
+    case ExplanationStage::kIntrinsic:
+      return "Intrinsic";
+    case ExplanationStage::kPreprocess:
+      return "Pre";
+    case ExplanationStage::kPostHoc:
+      return "Post";
+  }
+  return "?";
+}
+
+const char* ToString(ModelAccess v) {
+  switch (v) {
+    case ModelAccess::kWhiteBox:
+      return "W";
+    case ModelAccess::kGradient:
+      return "G";
+    case ModelAccess::kBlackBox:
+      return "B";
+  }
+  return "?";
+}
+
+const char* ToString(Agnosticism v) {
+  switch (v) {
+    case Agnosticism::kAgnostic:
+      return "A";
+    case Agnosticism::kSpecific:
+      return "S";
+  }
+  return "?";
+}
+
+const char* ToString(Coverage v) {
+  switch (v) {
+    case Coverage::kGlobal:
+      return "G";
+    case Coverage::kLocal:
+      return "L";
+    case Coverage::kBoth:
+      return "Both";
+  }
+  return "?";
+}
+
+const char* ToString(FairnessLevel v) {
+  switch (v) {
+    case FairnessLevel::kIndividual:
+      return "Individual";
+    case FairnessLevel::kGroup:
+      return "Group";
+    case FairnessLevel::kBoth:
+      return "Both";
+  }
+  return "?";
+}
+
+const char* ToString(FairnessCriterion v) {
+  switch (v) {
+    case FairnessCriterion::kObservational:
+      return "Observational";
+    case FairnessCriterion::kCausal:
+      return "Causal";
+  }
+  return "?";
+}
+
+const char* ToString(MitigationStage v) {
+  switch (v) {
+    case MitigationStage::kPre:
+      return "Pre-processing";
+    case MitigationStage::kIn:
+      return "In-processing";
+    case MitigationStage::kPost:
+      return "Post-processing";
+    case MitigationStage::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+const char* ToString(FairnessTask v) {
+  switch (v) {
+    case FairnessTask::kClassification:
+      return "Clf";
+    case FairnessTask::kRecommendation:
+      return "Recs";
+    case FairnessTask::kRanking:
+      return "Rank";
+    case FairnessTask::kGraph:
+      return "Graph";
+  }
+  return "?";
+}
+
+}  // namespace xfair

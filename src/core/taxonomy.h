@@ -1,0 +1,63 @@
+// The paper's two taxonomies (Figure 1: fairness; Figure 2: explanations)
+// as types, so the approach registry can classify every implemented method
+// along the same axes as Table I and the benches can regenerate the
+// figures as executable artifacts.
+
+#ifndef XFAIR_CORE_TAXONOMY_H_
+#define XFAIR_CORE_TAXONOMY_H_
+
+#include <string>
+
+namespace xfair {
+
+// --- Figure 2 axes: explanations ---
+
+/// Pipeline stage of the explanation method.
+enum class ExplanationStage { kIntrinsic, kPreprocess, kPostHoc };
+
+/// Model-access tier the method needs.
+enum class ModelAccess { kWhiteBox, kGradient, kBlackBox };
+
+/// Whether the method applies to any model family.
+enum class Agnosticism { kAgnostic, kSpecific };
+
+/// Scope of the produced explanation.
+enum class Coverage { kGlobal, kLocal, kBoth };
+
+// --- Figure 1 axes: fairness ---
+
+/// Whose fairness the method reasons about.
+enum class FairnessLevel { kIndividual, kGroup, kBoth };
+
+/// Fairness criterion family.
+enum class FairnessCriterion { kObservational, kCausal };
+
+/// Mitigation stage (Figure 1 "stage of fairness").
+enum class MitigationStage { kPre, kIn, kPost, kNone };
+
+/// Task the method targets.
+enum class FairnessTask { kClassification, kRecommendation, kRanking,
+                          kGraph };
+
+/// The paper's three goals for explanations-for-fairness (§IV).
+struct Goals {
+  bool enhance_metrics = false;   ///< (E) new/extended fairness metrics.
+  bool understand_causes = false; ///< (U) identify causes of unfairness.
+  bool mitigate = false;          ///< (M) design mitigation.
+
+  /// Table I shorthand, e.g. "E, U".
+  std::string ToString() const;
+};
+
+const char* ToString(ExplanationStage v);
+const char* ToString(ModelAccess v);
+const char* ToString(Agnosticism v);
+const char* ToString(Coverage v);
+const char* ToString(FairnessLevel v);
+const char* ToString(FairnessCriterion v);
+const char* ToString(MitigationStage v);
+const char* ToString(FairnessTask v);
+
+}  // namespace xfair
+
+#endif  // XFAIR_CORE_TAXONOMY_H_

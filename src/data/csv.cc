@@ -1,0 +1,148 @@
+#include "src/data/csv.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace xfair {
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  if (!line.empty() && line.back() == ',') out.push_back("");
+  return out;
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("cannot parse '" + s + "' as double");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  for (size_t c = 0; c < data.num_features(); ++c)
+    out << data.schema().feature(c).name << ",";
+  out << "label,group\n";
+  for (size_t r = 0; r < data.size(); ++r) {
+    for (size_t c = 0; c < data.num_features(); ++c)
+      out << data.x().At(r, c) << ",";
+    out << data.label(r) << "," << data.group(r) << "\n";
+  }
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::InvalidArgument("empty CSV: " + path);
+  const size_t expected = schema.num_features() + 2;
+  if (SplitComma(line).size() != expected) {
+    return Status::InvalidArgument("header width mismatch in " + path);
+  }
+
+  std::vector<Vector> rows;
+  std::vector<int> labels, groups;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = SplitComma(line);
+    if (cells.size() != expected) {
+      return Status::InvalidArgument("row width mismatch at line " +
+                                     std::to_string(lineno));
+    }
+    Vector row(schema.num_features());
+    for (size_t c = 0; c < schema.num_features(); ++c) {
+      Result<double> v = ParseDouble(cells[c]);
+      if (!v.ok()) return v.status();
+      row[c] = *v;
+    }
+    Result<double> yv = ParseDouble(cells[expected - 2]);
+    Result<double> gv = ParseDouble(cells[expected - 1]);
+    if (!yv.ok()) return yv.status();
+    if (!gv.ok()) return gv.status();
+    if ((*yv != 0.0 && *yv != 1.0) || (*gv != 0.0 && *gv != 1.0)) {
+      return Status::InvalidArgument("label/group must be 0/1 at line " +
+                                     std::to_string(lineno));
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(static_cast<int>(*yv));
+    groups.push_back(static_cast<int>(*gv));
+  }
+  if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
+  return Dataset(schema, Matrix::FromRows(rows), std::move(labels),
+                 std::move(groups));
+}
+
+Result<Schema> InferSchemaFromCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line))
+    return Status::InvalidArgument("empty CSV: " + path);
+  auto header = SplitComma(line);
+  if (header.size() < 3 || header[header.size() - 2] != "label" ||
+      header.back() != "group") {
+    return Status::InvalidArgument(
+        "header must end with 'label,group' in " + path);
+  }
+  const size_t d = header.size() - 2;
+
+  std::vector<double> lo(d, 1e300), hi(d, -1e300);
+  std::vector<bool> binary(d, true);
+  size_t lineno = 1;
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto cells = SplitComma(line);
+    if (cells.size() != header.size()) {
+      return Status::InvalidArgument("row width mismatch at line " +
+                                     std::to_string(lineno));
+    }
+    for (size_t c = 0; c < d; ++c) {
+      Result<double> v = ParseDouble(cells[c]);
+      if (!v.ok()) return v.status();
+      lo[c] = std::min(lo[c], *v);
+      hi[c] = std::max(hi[c], *v);
+      if (*v != 0.0 && *v != 1.0) binary[c] = false;
+    }
+    ++rows;
+  }
+  if (rows == 0) return Status::InvalidArgument("no data rows in " + path);
+
+  std::vector<FeatureSpec> specs(d);
+  int sensitive = -1;
+  for (size_t c = 0; c < d; ++c) {
+    specs[c].name = header[c];
+    specs[c].kind = binary[c] ? FeatureKind::kBinary : FeatureKind::kNumeric;
+    specs[c].actionability = Actionability::kAny;
+    const double pad = binary[c] ? 0.0 : 0.1 * (hi[c] - lo[c]);
+    specs[c].lower = lo[c] - pad;
+    specs[c].upper = hi[c] + pad;
+    if (header[c] == "protected") {
+      sensitive = static_cast<int>(c);
+      specs[c].actionability = Actionability::kImmutable;
+    }
+  }
+  return Schema(std::move(specs), sensitive);
+}
+
+}  // namespace xfair

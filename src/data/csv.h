@@ -1,0 +1,36 @@
+// CSV import/export for Dataset, so users can run xfair on their own
+// tabular data (e.g. the real COMPAS/Adult extracts the surveyed papers
+// use).
+
+#ifndef XFAIR_DATA_CSV_H_
+#define XFAIR_DATA_CSV_H_
+
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Writes `data` as CSV: one header row of feature names plus "label" and
+/// "group" columns.
+Status WriteCsv(const Dataset& data, const std::string& path);
+
+/// Reads a CSV previously produced by WriteCsv (or hand-built with the same
+/// layout): the header must end with "label,group", all cells must parse as
+/// doubles, labels/groups must be 0/1, and column count must match
+/// `schema`.
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
+
+/// Infers a workable schema from a CSV in WriteCsv layout: feature names
+/// from the header, kBinary for columns whose values are all 0/1 and
+/// kNumeric otherwise, bounds from the observed min/max (padded 10%), all
+/// features actionable, and the sensitive index set to a feature named
+/// "protected" if present (else -1). Intended for auditing external data
+/// where no hand-written schema exists; tighten the result by hand for
+/// recourse work.
+Result<Schema> InferSchemaFromCsv(const std::string& path);
+
+}  // namespace xfair
+
+#endif  // XFAIR_DATA_CSV_H_

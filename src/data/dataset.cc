@@ -1,0 +1,93 @@
+#include "src/data/dataset.h"
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+Dataset::Dataset(Schema schema, Matrix x, std::vector<int> labels,
+                 std::vector<int> groups)
+    : schema_(std::move(schema)),
+      x_(std::move(x)),
+      labels_(std::move(labels)),
+      groups_(std::move(groups)) {
+  XFAIR_CHECK(x_.rows() == labels_.size());
+  XFAIR_CHECK(x_.rows() == groups_.size());
+  XFAIR_CHECK(x_.cols() == schema_.num_features());
+  for (int y : labels_) XFAIR_CHECK(y == 0 || y == 1);
+  for (int g : groups_) XFAIR_CHECK(g == 0 || g == 1);
+}
+
+int Dataset::label(size_t i) const {
+  XFAIR_CHECK(i < labels_.size());
+  return labels_[i];
+}
+
+int Dataset::group(size_t i) const {
+  XFAIR_CHECK(i < groups_.size());
+  return groups_[i];
+}
+
+std::vector<size_t> Dataset::GroupIndices(int g) const {
+  XFAIR_CHECK(g == 0 || g == 1);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < groups_.size(); ++i)
+    if (groups_[i] == g) out.push_back(i);
+  return out;
+}
+
+double Dataset::BaseRate(int g) const {
+  size_t n = 0, pos = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (groups_[i] != g) continue;
+    ++n;
+    pos += static_cast<size_t>(labels_[i]);
+  }
+  if (n == 0) return 0.0;
+  return static_cast<double>(pos) / static_cast<double>(n);
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Matrix x(indices.size(), num_features());
+  std::vector<int> labels(indices.size()), groups(indices.size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const size_t src = indices[r];
+    XFAIR_CHECK(src < size());
+    x.SetRow(r, x_.Row(src));
+    labels[r] = labels_[src];
+    groups[r] = groups_[src];
+  }
+  return Dataset(schema_, std::move(x), std::move(labels),
+                 std::move(groups));
+}
+
+Dataset Dataset::WithoutFeature(size_t i) const {
+  XFAIR_CHECK(i < num_features());
+  Matrix x(size(), num_features() - 1);
+  for (size_t r = 0; r < size(); ++r) {
+    size_t out_c = 0;
+    for (size_t c = 0; c < num_features(); ++c) {
+      if (c == i) continue;
+      x.At(r, out_c++) = x_.At(r, c);
+    }
+  }
+  return Dataset(schema_.WithoutFeature(i), std::move(x), labels_, groups_);
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng* rng) const {
+  XFAIR_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  XFAIR_CHECK(rng != nullptr);
+  std::vector<size_t> idx(size());
+  for (size_t i = 0; i < size(); ++i) idx[i] = i;
+  rng->Shuffle(&idx);
+  const size_t n_train = std::max<size_t>(
+      1, static_cast<size_t>(train_fraction * static_cast<double>(size())));
+  XFAIR_CHECK_MSG(n_train < size(), "split leaves empty test set");
+  std::vector<size_t> train_idx(idx.begin(),
+                                idx.begin() + static_cast<long>(n_train));
+  std::vector<size_t> test_idx(idx.begin() + static_cast<long>(n_train),
+                               idx.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+}  // namespace xfair

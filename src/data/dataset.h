@@ -1,0 +1,68 @@
+// Tabular dataset: instance-major feature matrix, binary labels, and the
+// protected-group membership every fairness metric conditions on.
+
+#ifndef XFAIR_DATA_DATASET_H_
+#define XFAIR_DATA_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/data/schema.h"
+#include "src/util/matrix.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+
+/// A supervised tabular dataset for binary classification with a binary
+/// protected attribute.
+///
+/// Row i of `x()` is instance i; `label(i)` is its ground-truth class
+/// (1 = favorable); `group(i)` is 1 for the protected group G+ and 0 for
+/// the non-protected group G-. The group vector is always materialized even
+/// when the sensitive attribute is also a feature column, so that the
+/// sensitive column can be dropped from training (implicit-bias studies)
+/// without losing group membership.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, Matrix x, std::vector<int> labels,
+          std::vector<int> groups);
+
+  const Schema& schema() const { return schema_; }
+  const Matrix& x() const { return x_; }
+  size_t size() const { return x_.rows(); }
+  size_t num_features() const { return x_.cols(); }
+
+  Vector instance(size_t i) const { return x_.Row(i); }
+  int label(size_t i) const;
+  int group(size_t i) const;
+  const std::vector<int>& labels() const { return labels_; }
+  const std::vector<int>& groups() const { return groups_; }
+
+  /// Indices of instances in the protected (g=1) or non-protected (g=0)
+  /// group.
+  std::vector<size_t> GroupIndices(int g) const;
+
+  /// Fraction of instances with label 1 within group g (the base rate).
+  double BaseRate(int g) const;
+
+  /// New dataset containing rows `indices` in order.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// New dataset with feature column `i` removed (see
+  /// Schema::WithoutFeature).
+  Dataset WithoutFeature(size_t i) const;
+
+  /// Deterministic shuffled split; `train_fraction` in (0, 1).
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng* rng) const;
+
+ private:
+  Schema schema_;
+  Matrix x_;
+  std::vector<int> labels_;
+  std::vector<int> groups_;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_DATA_DATASET_H_

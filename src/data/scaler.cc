@@ -1,0 +1,52 @@
+#include "src/data/scaler.h"
+
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace xfair {
+
+void StandardScaler::Fit(const Dataset& data) {
+  const size_t d = data.num_features();
+  means_.assign(d, 0.0);
+  stddevs_.assign(d, 1.0);
+  scale_.assign(d, false);
+  for (size_t c = 0; c < d; ++c) {
+    if (data.schema().feature(c).kind != FeatureKind::kNumeric) continue;
+    scale_[c] = true;
+    Vector col = data.x().Col(c);
+    means_[c] = Mean(col);
+    const double sd = Stddev(col);
+    stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  fitted_ = true;
+}
+
+Dataset StandardScaler::Transform(const Dataset& data) const {
+  XFAIR_CHECK_MSG(fitted_, "scaler not fitted");
+  XFAIR_CHECK(data.num_features() == means_.size());
+  Matrix x(data.size(), data.num_features());
+  for (size_t r = 0; r < data.size(); ++r)
+    x.SetRow(r, TransformInstance(data.instance(r)));
+  return Dataset(data.schema(), std::move(x), data.labels(), data.groups());
+}
+
+Vector StandardScaler::TransformInstance(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "scaler not fitted");
+  XFAIR_CHECK(x.size() == means_.size());
+  Vector z(x.size());
+  for (size_t c = 0; c < x.size(); ++c)
+    z[c] = scale_[c] ? (x[c] - means_[c]) / stddevs_[c] : x[c];
+  return z;
+}
+
+Vector StandardScaler::InverseInstance(const Vector& z) const {
+  XFAIR_CHECK_MSG(fitted_, "scaler not fitted");
+  XFAIR_CHECK(z.size() == means_.size());
+  Vector x(z.size());
+  for (size_t c = 0; c < z.size(); ++c)
+    x[c] = scale_[c] ? z[c] * stddevs_[c] + means_[c] : z[c];
+  return x;
+}
+
+}  // namespace xfair

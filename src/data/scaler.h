@@ -1,0 +1,41 @@
+// Per-feature standardization (z-scoring) with inverse transform, so
+// counterfactual search can operate in normalized space and report actions
+// back in original units.
+
+#ifndef XFAIR_DATA_SCALER_H_
+#define XFAIR_DATA_SCALER_H_
+
+#include "src/data/dataset.h"
+
+namespace xfair {
+
+/// Standardizes numeric features to zero mean / unit variance. Binary and
+/// categorical columns are passed through unchanged so coded categories
+/// stay intact.
+class StandardScaler {
+ public:
+  /// Learns means and standard deviations from `data`.
+  void Fit(const Dataset& data);
+
+  bool fitted() const { return fitted_; }
+
+  /// Transforms a dataset (schema must match the one seen in Fit).
+  Dataset Transform(const Dataset& data) const;
+  /// Transforms a single instance.
+  Vector TransformInstance(const Vector& x) const;
+  /// Maps a standardized instance back to original units.
+  Vector InverseInstance(const Vector& z) const;
+
+  const Vector& means() const { return means_; }
+  const Vector& stddevs() const { return stddevs_; }
+
+ private:
+  bool fitted_ = false;
+  std::vector<bool> scale_;  // Per-column: whether to standardize.
+  Vector means_;
+  Vector stddevs_;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_DATA_SCALER_H_

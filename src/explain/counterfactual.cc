@@ -1,0 +1,222 @@
+#include "src/explain/counterfactual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xfair {
+namespace {
+
+/// Effective per-feature range used for normalization and step scaling.
+double FeatureRange(const FeatureSpec& spec) {
+  const double r = spec.upper - spec.lower;
+  if (r <= 0.0 || r > 1e29) return 1.0;
+  return r;
+}
+
+/// Projects a candidate onto the feasible set: bounds, integrality of
+/// binary/categorical features, and (optionally) actionability relative to
+/// the factual x.
+void Project(const Schema& schema, const Vector& x, bool actionable,
+             Vector* cand) {
+  for (size_t c = 0; c < cand->size(); ++c) {
+    const FeatureSpec& spec = schema.feature(c);
+    double v = (*cand)[c];
+    if (actionable) {
+      switch (spec.actionability) {
+        case Actionability::kImmutable:
+          v = x[c];
+          break;
+        case Actionability::kIncreaseOnly:
+          v = std::max(v, x[c]);
+          break;
+        case Actionability::kDecreaseOnly:
+          v = std::min(v, x[c]);
+          break;
+        case Actionability::kAny:
+          break;
+      }
+    }
+    v = std::min(std::max(v, spec.lower), spec.upper);
+    if (spec.kind == FeatureKind::kBinary) {
+      v = v >= 0.5 ? 1.0 : 0.0;
+    } else if (spec.kind == FeatureKind::kCategorical) {
+      v = std::round(v);
+      v = std::min(std::max(v, 0.0), static_cast<double>(spec.arity - 1));
+    }
+    (*cand)[c] = v;
+  }
+}
+
+/// Greedy sparsification: resets changed coordinates to their factual
+/// value (smallest normalized change first) while the prediction stays at
+/// the target class.
+void Sparsify(const Model& model, const Schema& schema, const Vector& x,
+              int target, Vector* cf) {
+  std::vector<std::pair<double, size_t>> changes;
+  for (size_t c = 0; c < x.size(); ++c) {
+    const double delta =
+        std::fabs((*cf)[c] - x[c]) / FeatureRange(schema.feature(c));
+    if (delta > 1e-12) changes.emplace_back(delta, c);
+  }
+  std::sort(changes.begin(), changes.end());
+  for (const auto& [delta, c] : changes) {
+    const double saved = (*cf)[c];
+    (*cf)[c] = x[c];
+    if (model.Predict(*cf) != target) (*cf)[c] = saved;
+  }
+}
+
+CounterfactualResult Finish(const Model& model, const Schema& schema,
+                            const Vector& x, Vector cf, int target,
+                            size_t iterations) {
+  CounterfactualResult r;
+  Sparsify(model, schema, x, target, &cf);
+  r.valid = model.Predict(cf) == target;
+  r.distance = NormalizedDistance(schema, x, cf);
+  r.sparsity = NonZeroCount(Sub(cf, x), 1e-12);
+  r.counterfactual = std::move(cf);
+  r.iterations = iterations;
+  return r;
+}
+
+CounterfactualResult Invalid(const Vector& x, size_t iterations) {
+  CounterfactualResult r;
+  r.counterfactual = x;
+  r.valid = false;
+  r.iterations = iterations;
+  return r;
+}
+
+}  // namespace
+
+double NormalizedDistance(const Schema& schema, const Vector& a,
+                          const Vector& b) {
+  XFAIR_CHECK(a.size() == b.size());
+  XFAIR_CHECK(a.size() == schema.num_features());
+  double acc = 0.0;
+  for (size_t c = 0; c < a.size(); ++c) {
+    const double d = (a[c] - b[c]) / FeatureRange(schema.feature(c));
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+CounterfactualResult WachterCounterfactual(
+    const GradientModel& model, const Schema& schema, const Vector& x,
+    const CounterfactualConfig& config) {
+  XFAIR_CHECK(x.size() == schema.num_features());
+  const int target = config.target_class;
+  if (model.Predict(x) == target) {
+    CounterfactualResult r;
+    r.counterfactual = x;
+    r.valid = true;
+    return r;
+  }
+  const double direction = target == 1 ? 1.0 : -1.0;
+  Vector cf = x;
+  size_t iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    if (model.Predict(cf) == target) break;
+    Vector grad = model.ProbaGradient(cf);
+    // Range-scale the step so features in large units move proportionally.
+    double norm = 0.0;
+    for (size_t c = 0; c < grad.size(); ++c) {
+      grad[c] *= FeatureRange(schema.feature(c));
+      norm = std::max(norm, std::fabs(grad[c]));
+    }
+    if (norm < 1e-12) return Invalid(x, iter);  // Flat region: stuck.
+    for (size_t c = 0; c < cf.size(); ++c) {
+      cf[c] += direction * config.step_size *
+               FeatureRange(schema.feature(c)) * grad[c] / norm;
+    }
+    Project(schema, x, config.respect_actionability, &cf);
+  }
+  if (model.Predict(cf) != target) return Invalid(x, iter);
+
+  // Shrink along the segment [x, cf]: binary search for the closest
+  // feasible flip.
+  double lo = 0.0, hi = 1.0;
+  for (int step = 0; step < 20; ++step) {
+    const double mid = 0.5 * (lo + hi);
+    Vector cand(x.size());
+    for (size_t c = 0; c < x.size(); ++c)
+      cand[c] = x[c] + mid * (cf[c] - x[c]);
+    Project(schema, x, config.respect_actionability, &cand);
+    if (model.Predict(cand) == target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  Vector best(x.size());
+  for (size_t c = 0; c < x.size(); ++c)
+    best[c] = x[c] + hi * (cf[c] - x[c]);
+  Project(schema, x, config.respect_actionability, &best);
+  if (model.Predict(best) != target) best = cf;  // Rounding broke it: keep cf.
+  return Finish(model, schema, x, std::move(best), target, iter);
+}
+
+CounterfactualResult GrowingSpheresCounterfactual(
+    const Model& model, const Schema& schema, const Vector& x,
+    const CounterfactualConfig& config, Rng* rng) {
+  XFAIR_CHECK(rng != nullptr);
+  XFAIR_CHECK(x.size() == schema.num_features());
+  const int target = config.target_class;
+  if (model.Predict(x) == target) {
+    CounterfactualResult r;
+    r.counterfactual = x;
+    r.valid = true;
+    return r;
+  }
+  double radius = config.initial_radius;
+  size_t iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    Vector best_cand;
+    double best_dist = 0.0;
+    for (size_t s = 0; s < config.samples_per_sphere; ++s) {
+      // Random direction on the unit sphere, scaled per-feature by range.
+      Vector cand = x;
+      Vector dir(x.size());
+      double norm = 0.0;
+      for (size_t c = 0; c < x.size(); ++c) {
+        dir[c] = rng->Normal();
+        norm += dir[c] * dir[c];
+      }
+      norm = std::sqrt(std::max(norm, 1e-12));
+      const double r = radius * (0.7 + 0.3 * rng->Uniform());
+      for (size_t c = 0; c < x.size(); ++c) {
+        cand[c] += r * FeatureRange(schema.feature(c)) * dir[c] / norm;
+      }
+      Project(schema, x, config.respect_actionability, &cand);
+      if (model.Predict(cand) == target) {
+        const double dist = NormalizedDistance(schema, x, cand);
+        if (best_cand.empty() || dist < best_dist) {
+          best_cand = std::move(cand);
+          best_dist = dist;
+        }
+      }
+    }
+    if (!best_cand.empty()) {
+      return Finish(model, schema, x, std::move(best_cand), target, iter);
+    }
+    radius *= config.radius_growth;
+  }
+  return Invalid(x, iter);
+}
+
+GroupCounterfactuals CounterfactualsForNegatives(
+    const Model& model, const Dataset& data,
+    const CounterfactualConfig& config, Rng* rng) {
+  GroupCounterfactuals out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Vector x = data.instance(i);
+    if (model.Predict(x) == config.target_class) continue;
+    out.indices.push_back(i);
+    out.results.push_back(GrowingSpheresCounterfactual(
+        model, data.schema(), x, config, rng));
+  }
+  return out;
+}
+
+}  // namespace xfair

@@ -1,0 +1,81 @@
+// Counterfactual explanation generation (paper §III, example-based; the
+// engine behind most of §IV).
+//
+// Two generators matching the taxonomy's access tiers:
+//  - WachterCounterfactual: gradient access; minimizes
+//    (f(x') - target)^2 + lambda * ||x' - x||^2 with lambda annealed until
+//    the class flips (Wachter et al. [15]).
+//  - GrowingSpheresCounterfactual: black-box; samples on spheres of
+//    growing radius until the class flips, then greedily sparsifies.
+// Both respect Schema actionability (immutable features never move;
+// directional features move one way) and value bounds, so the output is a
+// *feasible* counterfactual in the sense of actionable recourse [78].
+
+#ifndef XFAIR_EXPLAIN_COUNTERFACTUAL_H_
+#define XFAIR_EXPLAIN_COUNTERFACTUAL_H_
+
+#include "src/data/schema.h"
+#include "src/model/model.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+
+/// Outcome of a counterfactual search.
+struct CounterfactualResult {
+  Vector counterfactual;  ///< The found point (== input when !valid).
+  bool valid = false;     ///< True iff the predicted class flipped.
+  double distance = 0.0;  ///< L2 distance from the factual input.
+  size_t sparsity = 0;    ///< Number of features changed.
+  size_t iterations = 0;  ///< Search iterations consumed.
+};
+
+/// Shared knobs for counterfactual generators.
+struct CounterfactualConfig {
+  /// Desired predicted class of the counterfactual (usually the favorable
+  /// class 1 for an explainee mapped to 0).
+  int target_class = 1;
+  /// Enforce Schema actionability and bounds. When false only bounds
+  /// apply (plain Wachter CFEs, not recourse).
+  bool respect_actionability = true;
+  size_t max_iterations = 300;
+  /// Wachter: gradient step size.
+  double step_size = 0.25;
+  /// Growing spheres: initial radius and growth factor.
+  double initial_radius = 0.1;
+  double radius_growth = 1.3;
+  /// Growing spheres: candidate points sampled per sphere.
+  size_t samples_per_sphere = 40;
+};
+
+/// Range-normalized L2 distance: each coordinate is divided by its schema
+/// range (upper - lower, or 1 when unbounded) so "distance" is comparable
+/// across features of different units. All CounterfactualResult distances
+/// and the burden metrics use this.
+double NormalizedDistance(const Schema& schema, const Vector& a,
+                          const Vector& b);
+
+/// Gradient-based counterfactual (needs the gradient tier).
+CounterfactualResult WachterCounterfactual(const GradientModel& model,
+                                           const Schema& schema,
+                                           const Vector& x,
+                                           const CounterfactualConfig& config);
+
+/// Black-box counterfactual via growing spheres + greedy sparsification.
+CounterfactualResult GrowingSpheresCounterfactual(
+    const Model& model, const Schema& schema, const Vector& x,
+    const CounterfactualConfig& config, Rng* rng);
+
+/// Convenience: counterfactuals for every instance of `data` currently
+/// predicted as 1 - target_class, using the growing-spheres generator.
+/// Returns one result per such instance, along with the instance indices.
+struct GroupCounterfactuals {
+  std::vector<size_t> indices;
+  std::vector<CounterfactualResult> results;
+};
+GroupCounterfactuals CounterfactualsForNegatives(
+    const Model& model, const Dataset& data,
+    const CounterfactualConfig& config, Rng* rng);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_COUNTERFACTUAL_H_

@@ -1,0 +1,43 @@
+// Diverse counterfactual explanations (paper §V: "methods with the
+// capacity to generate diverse explanations ... empower users with a
+// broader range of resources"). Generates k feasible counterfactuals per
+// instance that are mutually distant in range-normalized space, so the
+// user can pick the action set that suits them.
+
+#ifndef XFAIR_EXPLAIN_DIVERSE_H_
+#define XFAIR_EXPLAIN_DIVERSE_H_
+
+#include "src/explain/counterfactual.h"
+
+namespace xfair {
+
+/// A set of mutually diverse counterfactuals for one instance.
+struct DiverseCounterfactuals {
+  std::vector<CounterfactualResult> results;  ///< Valid CFs found (<= k).
+  /// Minimum pairwise normalized distance between the returned CFs; the
+  /// diversity the set actually achieves.
+  double min_pairwise_distance = 0.0;
+  /// Mean distance from the factual input across the set.
+  double mean_cost = 0.0;
+};
+
+/// Options for GenerateDiverseCounterfactuals.
+struct DiverseCfOptions {
+  size_t k = 3;  ///< Counterfactuals requested.
+  /// Candidates closer than this (normalized) to an accepted CF are
+  /// rejected, forcing spread.
+  double min_separation = 0.15;
+  /// Attempts per slot before giving up on more diversity.
+  size_t attempts_per_slot = 8;
+  CounterfactualConfig cf_config;
+};
+
+/// Generates up to k diverse feasible counterfactuals via repeated
+/// growing-spheres searches with rejection of near-duplicates.
+DiverseCounterfactuals GenerateDiverseCounterfactuals(
+    const Model& model, const Schema& schema, const Vector& x,
+    const DiverseCfOptions& options, Rng* rng);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_DIVERSE_H_

@@ -1,0 +1,65 @@
+#include "src/explain/importance.h"
+
+#include <algorithm>
+
+#include "src/model/metrics.h"
+
+namespace xfair {
+
+Vector PermutationImportance(const Model& model, const Dataset& data,
+                             size_t repeats, Rng* rng) {
+  XFAIR_CHECK(rng != nullptr);
+  XFAIR_CHECK(repeats > 0);
+  const double baseline = Accuracy(model, data);
+  const size_t d = data.num_features();
+  Vector importance(d, 0.0);
+  for (size_t c = 0; c < d; ++c) {
+    double drop = 0.0;
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      // Shuffle column c while keeping other columns and labels fixed.
+      std::vector<size_t> perm(data.size());
+      for (size_t i = 0; i < data.size(); ++i) perm[i] = i;
+      rng->Shuffle(&perm);
+      size_t correct = 0;
+      for (size_t i = 0; i < data.size(); ++i) {
+        Vector x = data.instance(i);
+        x[c] = data.x().At(perm[i], c);
+        correct += static_cast<size_t>(model.Predict(x) == data.label(i));
+      }
+      drop += baseline -
+              static_cast<double>(correct) / static_cast<double>(data.size());
+    }
+    importance[c] = drop / static_cast<double>(repeats);
+  }
+  return importance;
+}
+
+PartialDependence ComputePartialDependence(const Model& model,
+                                           const Dataset& data, size_t c,
+                                           size_t grid) {
+  XFAIR_CHECK(c < data.num_features());
+  XFAIR_CHECK(grid >= 2);
+  XFAIR_CHECK(data.size() > 0);
+  Vector col = data.x().Col(c);
+  const double lo = *std::min_element(col.begin(), col.end());
+  const double hi = *std::max_element(col.begin(), col.end());
+  PartialDependence pd;
+  pd.grid_values.resize(grid);
+  pd.mean_predictions.resize(grid);
+  for (size_t g = 0; g < grid; ++g) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(g) /
+                 static_cast<double>(grid - 1);
+    pd.grid_values[g] = v;
+    double acc = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      Vector x = data.instance(i);
+      x[c] = v;
+      acc += model.PredictProba(x);
+    }
+    pd.mean_predictions[g] = acc / static_cast<double>(data.size());
+  }
+  return pd;
+}
+
+}  // namespace xfair

@@ -1,0 +1,31 @@
+// Global feature-based explanations (paper §III): permutation feature
+// importance [60] and partial dependence plots [61].
+
+#ifndef XFAIR_EXPLAIN_IMPORTANCE_H_
+#define XFAIR_EXPLAIN_IMPORTANCE_H_
+
+#include "src/model/model.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+
+/// Permutation importance: drop in accuracy when feature c's column is
+/// shuffled, averaged over `repeats` shuffles. One entry per feature;
+/// larger = more important.
+Vector PermutationImportance(const Model& model, const Dataset& data,
+                             size_t repeats, Rng* rng);
+
+/// Partial dependence of the model on feature c: mean prediction over the
+/// data with x[c] clamped to each of `grid` equally spaced values between
+/// the feature's observed min and max.
+struct PartialDependence {
+  Vector grid_values;       ///< The clamped values.
+  Vector mean_predictions;  ///< Mean P(y=1) at each grid value.
+};
+PartialDependence ComputePartialDependence(const Model& model,
+                                           const Dataset& data, size_t c,
+                                           size_t grid = 20);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_IMPORTANCE_H_

@@ -1,0 +1,100 @@
+#include "src/explain/influence.h"
+
+#include <cmath>
+
+namespace xfair {
+namespace {
+
+/// Appends the bias coordinate: [x; 1].
+Vector WithBias(const Vector& x) {
+  Vector z = x;
+  z.push_back(1.0);
+  return z;
+}
+
+}  // namespace
+
+InfluenceAnalyzer::InfluenceAnalyzer(const LogisticRegression* model,
+                                     const Dataset* train,
+                                     Matrix hessian_inverse)
+    : model_(model),
+      train_(train),
+      hessian_inverse_(std::move(hessian_inverse)) {}
+
+Result<InfluenceAnalyzer> InfluenceAnalyzer::Create(
+    const LogisticRegression& model, const Dataset& train, double l2) {
+  XFAIR_CHECK_MSG(model.fitted(), "model not fitted");
+  XFAIR_CHECK(train.size() > 0);
+  const size_t d = train.num_features();
+  const size_t m = d + 1;
+  Matrix hessian(m, m);
+  for (size_t i = 0; i < train.size(); ++i) {
+    const Vector z = WithBias(train.instance(i));
+    const double p = model.PredictProba(train.instance(i));
+    const double s = p * (1.0 - p);
+    for (size_t a = 0; a < m; ++a)
+      for (size_t b = 0; b < m; ++b)
+        hessian.At(a, b) += s * z[a] * z[b];
+  }
+  const double n = static_cast<double>(train.size());
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = 0; b < m; ++b) hessian.At(a, b) /= n;
+    // L2 acts on weights only, plus a tiny floor on the bias entry.
+    hessian.At(a, a) += (a < d ? l2 : 1e-9);
+  }
+  Result<Matrix> inv = Invert(hessian);
+  if (!inv.ok()) return inv.status();
+  return InfluenceAnalyzer(&model, &train, std::move(*inv));
+}
+
+Vector InfluenceAnalyzer::LossGradient(size_t i) const {
+  XFAIR_CHECK(i < train_->size());
+  const Vector x = train_->instance(i);
+  const double err =
+      model_->PredictProba(x) - static_cast<double>(train_->label(i));
+  Vector g = WithBias(x);
+  for (double& v : g) v *= err;
+  return g;
+}
+
+double InfluenceAnalyzer::InfluenceOnPrediction(const Vector& x_test,
+                                                size_t i) const {
+  // Removing i shifts parameters by ~ H^{-1} g_i / n; the score on x_test
+  // moves by sigma'(z_test) * [x_test; 1] . delta_theta.
+  const Vector delta =
+      hessian_inverse_.MatVec(LossGradient(i));
+  const double p = model_->PredictProba(x_test);
+  const Vector zt = WithBias(x_test);
+  return p * (1.0 - p) * Dot(zt, delta) /
+         static_cast<double>(train_->size());
+}
+
+Vector InfluenceAnalyzer::InfluenceOnParityGap(const Dataset& eval) const {
+  const size_t m = train_->num_features() + 1;
+  // Gradient of the score-space parity gap w.r.t. parameters.
+  Vector v(m, 0.0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < eval.size(); ++i) {
+    (eval.group(i) == 0 ? n0 : n1) += 1;
+  }
+  for (size_t i = 0; i < eval.size(); ++i) {
+    const Vector x = eval.instance(i);
+    const double p = model_->PredictProba(x);
+    const double s = p * (1.0 - p);
+    const Vector z = WithBias(x);
+    const double sign =
+        eval.group(i) == 0
+            ? 1.0 / std::max<double>(1, static_cast<double>(n0))
+            : -1.0 / std::max<double>(1, static_cast<double>(n1));
+    for (size_t a = 0; a < m; ++a) v[a] += sign * s * z[a];
+  }
+  const Vector vh = hessian_inverse_.TransposeMatVec(v);
+  Vector influence(train_->size());
+  for (size_t i = 0; i < train_->size(); ++i) {
+    influence[i] =
+        Dot(vh, LossGradient(i)) / static_cast<double>(train_->size());
+  }
+  return influence;
+}
+
+}  // namespace xfair

@@ -1,0 +1,48 @@
+// Influence functions for logistic regression (paper §III example-based,
+// "influence-based" [63], [64]): which training instances most changed a
+// prediction or a metric, estimated without retraining via the classic
+// -grad_test^T H^{-1} grad_train approximation.
+
+#ifndef XFAIR_EXPLAIN_INFLUENCE_H_
+#define XFAIR_EXPLAIN_INFLUENCE_H_
+
+#include "src/model/logistic_regression.h"
+
+namespace xfair {
+
+/// Precomputes the inverse Hessian of the training loss at the fitted
+/// parameters; then answers influence queries cheaply.
+class InfluenceAnalyzer {
+ public:
+  /// `model` must already be fitted on `train`. `l2` must match the
+  /// training regularization (it keeps the Hessian well conditioned).
+  /// Returns kFailedPrecondition if the Hessian is singular.
+  static Result<InfluenceAnalyzer> Create(const LogisticRegression& model,
+                                          const Dataset& train,
+                                          double l2 = 1e-3);
+
+  /// Approximate change in the model's score on `x_test` if training
+  /// instance `i` were removed (positive = removal raises the score).
+  double InfluenceOnPrediction(const Vector& x_test, size_t i) const;
+
+  /// Influence of each training instance on the mean score difference
+  /// between the two groups of `eval` (the parity gap in score space):
+  /// positive = removing the instance widens the gap. This is the
+  /// primitive that [90]-style training-attribution methods rank by.
+  Vector InfluenceOnParityGap(const Dataset& eval) const;
+
+ private:
+  InfluenceAnalyzer(const LogisticRegression* model, const Dataset* train,
+                    Matrix hessian_inverse);
+
+  /// Per-instance loss gradient w.r.t. [w, b] at the fitted parameters.
+  Vector LossGradient(size_t i) const;
+
+  const LogisticRegression* model_;
+  const Dataset* train_;
+  Matrix hessian_inverse_;  // (d+1) x (d+1), includes the bias row.
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_INFLUENCE_H_

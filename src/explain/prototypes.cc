@@ -1,0 +1,88 @@
+#include "src/explain/prototypes.h"
+
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+std::vector<size_t> ClassPrototypes(const Dataset& data, int label,
+                                    size_t k, Rng* rng) {
+  XFAIR_CHECK(rng != nullptr);
+  std::vector<size_t> members;
+  for (size_t i = 0; i < data.size(); ++i)
+    if (data.label(i) == label) members.push_back(i);
+  XFAIR_CHECK_MSG(!members.empty(), "no instances with requested label");
+  k = std::min(k, members.size());
+
+  // Initialize medoids with a random subset; PAM-style improvement.
+  auto init = rng->SampleWithoutReplacement(members.size(), k);
+  std::vector<size_t> medoids(k);
+  for (size_t m = 0; m < k; ++m) medoids[m] = members[init[m]];
+
+  auto total_cost = [&](const std::vector<size_t>& meds) {
+    double cost = 0.0;
+    for (size_t i : members) {
+      double best = std::numeric_limits<double>::max();
+      for (size_t m : meds)
+        best = std::min(best, Norm2(Sub(data.instance(i),
+                                        data.instance(m))));
+      cost += best;
+    }
+    return cost;
+  };
+
+  double cost = total_cost(medoids);
+  bool improved = true;
+  size_t rounds = 0;
+  while (improved && rounds < 10) {
+    improved = false;
+    ++rounds;
+    for (size_t m = 0; m < k; ++m) {
+      for (size_t cand : members) {
+        bool is_medoid = false;
+        for (size_t mm : medoids) is_medoid |= (mm == cand);
+        if (is_medoid) continue;
+        std::vector<size_t> trial = medoids;
+        trial[m] = cand;
+        const double trial_cost = total_cost(trial);
+        if (trial_cost + 1e-12 < cost) {
+          medoids = std::move(trial);
+          cost = trial_cost;
+          improved = true;
+        }
+      }
+    }
+  }
+  return medoids;
+}
+
+NeighborExplanation ExplainByNeighbors(const Dataset& data, const Vector& x,
+                                       int predicted_label) {
+  XFAIR_CHECK(data.size() > 0);
+  NeighborExplanation out{};
+  double best_same = std::numeric_limits<double>::max();
+  double best_other = std::numeric_limits<double>::max();
+  bool found_same = false, found_other = false;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double dist = Norm2(Sub(data.instance(i), x));
+    if (data.label(i) == predicted_label) {
+      if (dist < best_same) {
+        best_same = dist;
+        out.same_label_index = i;
+        found_same = true;
+      }
+    } else if (dist < best_other) {
+      best_other = dist;
+      out.other_label_index = i;
+      found_other = true;
+    }
+  }
+  XFAIR_CHECK_MSG(found_same && found_other,
+                  "data must contain both labels");
+  out.same_label_distance = best_same;
+  out.other_label_distance = best_other;
+  return out;
+}
+
+}  // namespace xfair

@@ -1,0 +1,33 @@
+// Example-based explanations (paper §III): class prototypes via k-medoids
+// and nearest-neighbor justifications.
+
+#ifndef XFAIR_EXPLAIN_PROTOTYPES_H_
+#define XFAIR_EXPLAIN_PROTOTYPES_H_
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+
+/// k representative training instances (medoids) of class `label`,
+/// selected by PAM-style alternation. Returns dataset row indices.
+std::vector<size_t> ClassPrototypes(const Dataset& data, int label,
+                                    size_t k, Rng* rng);
+
+/// Nearest-neighbor explanation of a prediction: the closest training
+/// instance with the same predicted label (a "precedent") and the closest
+/// with the opposite label (the contrast).
+struct NeighborExplanation {
+  size_t same_label_index;
+  size_t other_label_index;
+  double same_label_distance;
+  double other_label_distance;
+};
+
+/// Requires `data` to contain at least one instance of each label.
+NeighborExplanation ExplainByNeighbors(const Dataset& data, const Vector& x,
+                                       int predicted_label);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_PROTOTYPES_H_

@@ -1,0 +1,93 @@
+#include "src/explain/rules.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/table.h"
+
+namespace xfair {
+
+bool Condition::Matches(const Vector& x) const {
+  XFAIR_CHECK(feature < x.size());
+  return op == Op::kLe ? x[feature] <= threshold : x[feature] > threshold;
+}
+
+std::string Condition::ToString(const Schema& schema) const {
+  return schema.feature(feature).name + (op == Op::kLe ? " <= " : " > ") +
+         FormatDouble(threshold, 2);
+}
+
+bool Rule::Matches(const Vector& x) const {
+  for (const auto& c : conditions)
+    if (!c.Matches(x)) return false;
+  return true;
+}
+
+std::string Rule::ToString(const Schema& schema) const {
+  if (conditions.empty()) return "TRUE => " + FormatDouble(prediction, 2);
+  std::string out;
+  for (size_t i = 0; i < conditions.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conditions[i].ToString(schema);
+  }
+  out += " => " + FormatDouble(prediction, 2);
+  return out;
+}
+
+std::vector<Rule> RulesFromTree(const DecisionTree& tree) {
+  XFAIR_CHECK_MSG(tree.fitted(), "tree not fitted");
+  const auto& nodes = tree.nodes();
+  const double root_weight = std::max(nodes[0].weight, 1e-12);
+  std::vector<Rule> rules;
+
+  // DFS carrying the tightest bound per (feature, op).
+  struct Frame {
+    int node;
+    std::map<std::pair<size_t, int>, double> bounds;
+  };
+  std::vector<Frame> stack = {{0, {}}};
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const TreeNode& n = nodes[static_cast<size_t>(f.node)];
+    if (n.feature < 0) {
+      Rule rule;
+      for (const auto& [key, threshold] : f.bounds) {
+        rule.conditions.push_back(
+            {key.first,
+             key.second == 0 ? Condition::Op::kLe : Condition::Op::kGt,
+             threshold});
+      }
+      rule.prediction = n.proba;
+      rule.support = n.weight / root_weight;
+      rules.push_back(std::move(rule));
+      continue;
+    }
+    const size_t feat = static_cast<size_t>(n.feature);
+    // Left: feature <= threshold — keep the smallest upper bound.
+    Frame left = f;
+    auto [it_l, inserted_l] =
+        left.bounds.try_emplace({feat, 0}, n.threshold);
+    if (!inserted_l) it_l->second = std::min(it_l->second, n.threshold);
+    left.node = n.left;
+    stack.push_back(std::move(left));
+    // Right: feature > threshold — keep the largest lower bound.
+    Frame right = std::move(f);
+    auto [it_r, inserted_r] =
+        right.bounds.try_emplace({feat, 1}, n.threshold);
+    if (!inserted_r) it_r->second = std::max(it_r->second, n.threshold);
+    right.node = n.right;
+    stack.push_back(std::move(right));
+  }
+  return rules;
+}
+
+double RuleCoverage(const Rule& rule, const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  size_t matched = 0;
+  for (size_t i = 0; i < data.size(); ++i)
+    matched += static_cast<size_t>(rule.Matches(data.instance(i)));
+  return static_cast<double>(matched) / static_cast<double>(data.size());
+}
+
+}  // namespace xfair

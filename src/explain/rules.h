@@ -1,0 +1,46 @@
+// Rule-based explanations (paper §III approximation-based): decision rules
+// extracted from tree paths. Shared vocabulary for the rule-producing
+// fairness explainers (FACTS subgroups, AReS recourse sets, Gopher
+// patterns).
+
+#ifndef XFAIR_EXPLAIN_RULES_H_
+#define XFAIR_EXPLAIN_RULES_H_
+
+#include <string>
+
+#include "src/model/decision_tree.h"
+
+namespace xfair {
+
+/// One conjunct: feature `op` threshold.
+struct Condition {
+  size_t feature;
+  enum class Op { kLe, kGt } op;
+  double threshold;
+
+  /// True iff `x` satisfies the condition.
+  bool Matches(const Vector& x) const;
+  /// e.g. "income <= 4.25".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A conjunction of conditions with an associated prediction.
+struct Rule {
+  std::vector<Condition> conditions;
+  double prediction = 0.0;  ///< Leaf P(y=1).
+  double support = 0.0;     ///< Fraction of training weight in the leaf.
+
+  bool Matches(const Vector& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Extracts one rule per leaf of a fitted tree, with redundant conditions
+/// on the same (feature, op) merged into the tightest bound.
+std::vector<Rule> RulesFromTree(const DecisionTree& tree);
+
+/// Fraction of `data` rows matched by `rule` (coverage).
+double RuleCoverage(const Rule& rule, const Dataset& data);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_RULES_H_

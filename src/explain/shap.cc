@@ -1,0 +1,92 @@
+#include "src/explain/shap.h"
+
+#include <cmath>
+
+namespace xfair {
+
+Vector ExactShapley(const CoalitionValue& value, size_t d) {
+  XFAIR_CHECK(d > 0);
+  XFAIR_CHECK_MSG(d <= 20, "exact Shapley limited to 20 players");
+  const size_t num_subsets = size_t{1} << d;
+
+  // Evaluate every coalition once.
+  Vector v(num_subsets);
+  std::vector<bool> mask(d);
+  for (size_t s = 0; s < num_subsets; ++s) {
+    for (size_t i = 0; i < d; ++i) mask[i] = (s >> i) & 1;
+    v[s] = value(mask);
+  }
+
+  // Precompute weights w[k] = k! (d-k-1)! / d! for |S| = k.
+  Vector log_fact(d + 1, 0.0);
+  for (size_t k = 1; k <= d; ++k)
+    log_fact[k] = log_fact[k - 1] + std::log(static_cast<double>(k));
+  Vector weight(d);
+  for (size_t k = 0; k < d; ++k) {
+    weight[k] =
+        std::exp(log_fact[k] + log_fact[d - k - 1] - log_fact[d]);
+  }
+
+  Vector phi(d, 0.0);
+  for (size_t s = 0; s < num_subsets; ++s) {
+    const size_t k = static_cast<size_t>(__builtin_popcountll(s));
+    for (size_t i = 0; i < d; ++i) {
+      if ((s >> i) & 1) continue;  // i must be outside S.
+      phi[i] += weight[k] * (v[s | (size_t{1} << i)] - v[s]);
+    }
+  }
+  return phi;
+}
+
+Vector SampledShapley(const CoalitionValue& value, size_t d,
+                      size_t permutations, Rng* rng) {
+  XFAIR_CHECK(d > 0 && permutations > 0);
+  XFAIR_CHECK(rng != nullptr);
+  Vector phi(d, 0.0);
+  std::vector<size_t> perm(d);
+  for (size_t i = 0; i < d; ++i) perm[i] = i;
+  size_t total = 0;
+
+  auto accumulate = [&](const std::vector<size_t>& order) {
+    std::vector<bool> mask(d, false);
+    double prev = value(mask);
+    for (size_t i : order) {
+      mask[i] = true;
+      const double cur = value(mask);
+      phi[i] += cur - prev;
+      prev = cur;
+    }
+    ++total;
+  };
+
+  for (size_t p = 0; p < (permutations + 1) / 2; ++p) {
+    rng->Shuffle(&perm);
+    accumulate(perm);
+    // Antithetic pass: the reversed permutation.
+    std::vector<size_t> rev(perm.rbegin(), perm.rend());
+    accumulate(rev);
+  }
+  for (double& x : phi) x /= static_cast<double>(total);
+  return phi;
+}
+
+Vector ShapExplainInstance(const Model& model, const Dataset& background,
+                           const Vector& x, size_t permutations, Rng* rng) {
+  XFAIR_CHECK(background.size() > 0);
+  XFAIR_CHECK(x.size() == background.num_features());
+  const size_t d = x.size();
+  CoalitionValue value = [&](const std::vector<bool>& mask) {
+    double acc = 0.0;
+    for (size_t b = 0; b < background.size(); ++b) {
+      Vector z = background.instance(b);
+      for (size_t c = 0; c < d; ++c)
+        if (mask[c]) z[c] = x[c];
+      acc += model.PredictProba(z);
+    }
+    return acc / static_cast<double>(background.size());
+  };
+  if (d <= 10) return ExactShapley(value, d);
+  return SampledShapley(value, d, permutations, rng);
+}
+
+}  // namespace xfair

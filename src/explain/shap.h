@@ -1,0 +1,43 @@
+// Shapley-value attribution (paper §III feature-based; §IV-B uses the same
+// machinery with a *fairness* value function instead of an accuracy one).
+//
+// The implementation is deliberately split: a generic Shapley engine over
+// an arbitrary coalition value function (exact enumeration and permutation
+// sampling), plus the standard model-output instance explainer built on
+// top. The fairness explainers in src/unfair/ reuse the engine with their
+// own value functions, exactly as [81] replaces f_S with a fairness value.
+
+#ifndef XFAIR_EXPLAIN_SHAP_H_
+#define XFAIR_EXPLAIN_SHAP_H_
+
+#include <functional>
+
+#include "src/model/model.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+
+/// Value of a coalition: the characteristic function v(S). The mask has
+/// one entry per player (feature); true = in the coalition.
+using CoalitionValue = std::function<double(const std::vector<bool>&)>;
+
+/// Exact Shapley values by full subset enumeration. Cost O(2^d * d);
+/// requires d <= 20. Each subset's value is evaluated exactly once.
+Vector ExactShapley(const CoalitionValue& value, size_t d);
+
+/// Monte Carlo Shapley via permutation sampling with antithetic pairs
+/// (each sampled permutation is also used reversed, halving variance).
+/// Cost O(permutations * d) value evaluations.
+Vector SampledShapley(const CoalitionValue& value, size_t d,
+                      size_t permutations, Rng* rng);
+
+/// Standard SHAP-style instance explanation: the value of coalition S is
+/// the mean model output with features in S fixed to x and the rest taken
+/// from background rows. Returns one attribution per feature; they sum to
+/// f(x) - E_background[f] (efficiency property).
+Vector ShapExplainInstance(const Model& model, const Dataset& background,
+                           const Vector& x, size_t permutations, Rng* rng);
+
+}  // namespace xfair
+
+#endif  // XFAIR_EXPLAIN_SHAP_H_

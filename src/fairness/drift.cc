@@ -1,0 +1,37 @@
+#include "src/fairness/drift.h"
+
+#include <cmath>
+
+namespace xfair {
+
+double FairnessDriftMonitor::ObserveBatch(const Model& model,
+                                          const Dataset& batch) {
+  const double gap = StatisticalParityDifference(model, batch);
+  history_.push_back(gap);
+  if (std::fabs(gap) > options_.tolerance) {
+    ++consecutive_;
+    if (consecutive_ >= options_.patience) alarm_ = true;
+  } else {
+    consecutive_ = 0;
+  }
+  return gap;
+}
+
+double FairnessDriftMonitor::TrendSlope() const {
+  const size_t n = history_.size();
+  if (n < 2) return 0.0;
+  // Least squares of gap on batch index.
+  double mean_x = static_cast<double>(n - 1) / 2.0;
+  double mean_y = 0.0;
+  for (double g : history_) mean_y += g;
+  mean_y /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    sxy += dx * (history_[i] - mean_y);
+    sxx += dx * dx;
+  }
+  return sxx > 0.0 ? sxy / sxx : 0.0;
+}
+
+}  // namespace xfair

@@ -1,0 +1,53 @@
+// Dynamic fairness monitoring (paper §V: "fairness metrics and
+// explanations that are responsive to the changing landscape of data and
+// demographics"). Tracks a fairness metric over data batches, estimates
+// its trend, and raises an alarm when the gap stays beyond a tolerance
+// for several consecutive batches.
+
+#ifndef XFAIR_FAIRNESS_DRIFT_H_
+#define XFAIR_FAIRNESS_DRIFT_H_
+
+#include "src/fairness/group_metrics.h"
+
+namespace xfair {
+
+/// Options for FairnessDriftMonitor.
+struct DriftMonitorOptions {
+  /// |gap| above this counts as a violation.
+  double tolerance = 0.1;
+  /// Alarm after this many consecutive violating batches.
+  size_t patience = 3;
+};
+
+/// Streaming monitor over batch-wise statistical parity differences.
+class FairnessDriftMonitor {
+ public:
+  explicit FairnessDriftMonitor(DriftMonitorOptions options = {})
+      : options_(options) {}
+
+  /// Evaluates `model` on one incoming batch and folds the result in.
+  /// Returns the batch's parity gap.
+  double ObserveBatch(const Model& model, const Dataset& batch);
+
+  size_t num_batches() const { return history_.size(); }
+  const Vector& history() const { return history_; }
+
+  /// Least-squares slope of the gap over batch index: the drift rate.
+  /// 0 with fewer than two batches.
+  double TrendSlope() const;
+
+  /// True once `patience` consecutive batches violated the tolerance.
+  bool alarm() const { return alarm_; }
+  /// Consecutive violating batches ending at the latest one.
+  size_t consecutive_violations() const { return consecutive_; }
+
+ private:
+  DriftMonitorOptions options_;
+  Vector history_;
+  size_t consecutive_ = 0;
+  bool alarm_ = false;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_FAIRNESS_DRIFT_H_

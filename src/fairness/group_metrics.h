@@ -1,0 +1,59 @@
+// Group fairness metrics (paper §II, Figure 1 "group level").
+//
+// All metrics compare the protected group G+ (group == 1) against the
+// non-protected group G- (group == 0). Signed differences are reported as
+// (G- value) - (G+ value) for rates where higher is better for the
+// individual, so a positive value always reads "the protected group is
+// worse off".
+
+#ifndef XFAIR_FAIRNESS_GROUP_METRICS_H_
+#define XFAIR_FAIRNESS_GROUP_METRICS_H_
+
+#include "src/model/metrics.h"
+
+namespace xfair {
+
+/// Base rates: P(yhat=1 | G-) - P(yhat=1 | G+). Statistical parity holds
+/// iff this is 0.
+double StatisticalParityDifference(const Model& model, const Dataset& data);
+
+/// Disparate impact ratio P(yhat=1 | G+) / P(yhat=1 | G-). The legal
+/// "80% rule" flags values below 0.8. Returns 1 if the denominator is 0.
+double DisparateImpactRatio(const Model& model, const Dataset& data);
+
+/// Accuracy-based: TPR(G-) - TPR(G+). Equal opportunity holds iff 0.
+double EqualOpportunityDifference(const Model& model, const Dataset& data);
+
+/// Accuracy-based: max(|TPR gap|, |FPR gap|). Equalized odds holds iff 0.
+double EqualizedOddsDifference(const Model& model, const Dataset& data);
+
+/// Accuracy-based: precision(G-) - precision(G+) (predictive parity).
+double PredictiveParityDifference(const Model& model, const Dataset& data);
+
+/// Calibration-based: |ECE(G+) - ECE(G-)| with `bins` probability bins.
+double CalibrationGap(const Model& model, const Dataset& data,
+                      size_t bins = 10);
+
+/// Everything at once, plus the per-group confusions they derive from.
+struct GroupFairnessReport {
+  Confusion protected_group;      ///< Confusion on G+.
+  Confusion non_protected_group;  ///< Confusion on G-.
+  double statistical_parity_difference = 0.0;
+  double disparate_impact_ratio = 1.0;
+  double equal_opportunity_difference = 0.0;
+  double equalized_odds_difference = 0.0;
+  double predictive_parity_difference = 0.0;
+  double calibration_gap = 0.0;
+  double accuracy = 0.0;  ///< Overall accuracy, for tradeoff reporting.
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Evaluates the full report in one pass over `data`.
+GroupFairnessReport EvaluateGroupFairness(const Model& model,
+                                          const Dataset& data);
+
+}  // namespace xfair
+
+#endif  // XFAIR_FAIRNESS_GROUP_METRICS_H_

@@ -1,0 +1,35 @@
+// Individual fairness metrics (Figure 1 "individual level"):
+// distance-based Lipschitz consistency [19] and SCM-based counterfactual
+// fairness [20].
+
+#ifndef XFAIR_FAIRNESS_INDIVIDUAL_METRICS_H_
+#define XFAIR_FAIRNESS_INDIVIDUAL_METRICS_H_
+
+#include "src/causal/worlds.h"
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// Dwork-style individual fairness: fraction of sampled instance pairs
+/// violating |f(x) - f(x')| <= lipschitz * ||x - x'||_2. Pairs are drawn
+/// uniformly from `data` using `rng`. Run on standardized features so the
+/// distance is meaningful.
+double LipschitzViolationRate(const Model& model, const Dataset& data,
+                              double lipschitz, size_t num_pairs, Rng* rng);
+
+/// k-NN consistency in [0, 1]: 1 - mean_i |yhat(x_i) - mean yhat over
+/// the k nearest neighbors of x_i|. 1 means identical treatment of
+/// similars.
+double KnnConsistency(const Model& model, const Dataset& data, size_t k);
+
+/// Counterfactual fairness gap [20]: mean over `n` sampled individuals of
+/// |f(x) - f(x_cf)| where x_cf is the SCM counterfactual with the
+/// sensitive attribute flipped. 0 means the model is counterfactually
+/// fair w.r.t. the world's causal mechanism.
+double CounterfactualFairnessGap(const Model& model,
+                                 const CausalWorld& world, size_t n,
+                                 uint64_t seed);
+
+}  // namespace xfair
+
+#endif  // XFAIR_FAIRNESS_INDIVIDUAL_METRICS_H_

@@ -1,0 +1,68 @@
+#include "src/fairness/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace xfair {
+
+double PositionBias(size_t rank) {
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+double ExposureShare(const std::vector<size_t>& ranking,
+                     const std::vector<int>& item_groups) {
+  double total = 0.0, g1 = 0.0;
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    XFAIR_CHECK(ranking[r] < item_groups.size());
+    const double w = PositionBias(r);
+    total += w;
+    if (item_groups[ranking[r]] == 1) g1 += w;
+  }
+  return total > 0.0 ? g1 / total : 0.0;
+}
+
+double ExposureGap(const std::vector<size_t>& ranking,
+                   const std::vector<int>& item_groups) {
+  if (ranking.empty()) return 0.0;
+  size_t n1 = 0;
+  for (size_t item : ranking) {
+    XFAIR_CHECK(item < item_groups.size());
+    n1 += static_cast<size_t>(item_groups[item] == 1);
+  }
+  const double representation =
+      static_cast<double>(n1) / static_cast<double>(ranking.size());
+  return ExposureShare(ranking, item_groups) - representation;
+}
+
+double FairPrefixPValue(const std::vector<size_t>& ranking,
+                        const std::vector<int>& item_groups,
+                        size_t min_prefix) {
+  if (ranking.empty()) return 1.0;
+  size_t n1 = 0;
+  for (size_t item : ranking) {
+    XFAIR_CHECK(item < item_groups.size());
+    n1 += static_cast<size_t>(item_groups[item] == 1);
+  }
+  const double p =
+      static_cast<double>(n1) / static_cast<double>(ranking.size());
+  if (p <= 0.0 || p >= 1.0) return 1.0;  // Single-group list: nothing to test.
+
+  double min_tail = 1.0;
+  size_t seen1 = 0;
+  for (size_t k = 0; k < ranking.size(); ++k) {
+    seen1 += static_cast<size_t>(item_groups[ranking[k]] == 1);
+    const size_t prefix = k + 1;
+    if (prefix < min_prefix) continue;
+    // P(X <= seen1) = 1 - P(X >= seen1 + 1) for X ~ Bin(prefix, p):
+    // small when the prefix has suspiciously few protected items.
+    const double tail =
+        1.0 - BinomialTailProb(prefix, seen1 + 1, p);
+    min_tail = std::min(min_tail, tail);
+  }
+  return min_tail;
+}
+
+}  // namespace xfair

@@ -1,0 +1,41 @@
+// Ranking/recommendation fairness (paper §II "other tasks"): exposure-based
+// metrics with logarithmic position bias, and the probability-based fair
+// ranking test that asks whether each ranking prefix could plausibly have
+// come from an unbiased process.
+
+#ifndef XFAIR_FAIRNESS_RANKING_METRICS_H_
+#define XFAIR_FAIRNESS_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace xfair {
+
+/// Position-bias weight of rank r (0-based): 1 / log2(r + 2), the standard
+/// DCG discount.
+double PositionBias(size_t rank);
+
+/// Share of total exposure received by items of group 1.
+/// `ranking[r]` is the item at rank r; `item_groups[item]` in {0, 1}.
+double ExposureShare(const std::vector<size_t>& ranking,
+                     const std::vector<int>& item_groups);
+
+/// Exposure gap: (share of exposure of group 1) - (share of items of
+/// group 1 in the ranked list). 0 means exposure proportional to
+/// representation; negative means group 1 is pushed down the list.
+double ExposureGap(const std::vector<size_t>& ranking,
+                   const std::vector<int>& item_groups);
+
+/// Probability-based fairness: for every prefix of the ranking, computes
+/// the binomial tail probability of seeing at most the observed number of
+/// protected items if every rank were filled by a coin flip with
+/// P(protected) = overall protected share. Returns the minimum tail
+/// probability over prefixes of length >= `min_prefix` — a small value
+/// means some prefix under-represents the protected group beyond chance.
+double FairPrefixPValue(const std::vector<size_t>& ranking,
+                        const std::vector<int>& item_groups,
+                        size_t min_prefix = 3);
+
+}  // namespace xfair
+
+#endif  // XFAIR_FAIRNESS_RANKING_METRICS_H_

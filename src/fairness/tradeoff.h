@@ -1,0 +1,37 @@
+// Combined utility-fairness-explainability score (paper §V: "new metrics
+// that provide insights into the combined trade-offs between the utility,
+// fairness, and explainability of models"). Scores a model on all three
+// axes at once so candidate models can be compared on a single frontier.
+
+#ifndef XFAIR_FAIRNESS_TRADEOFF_H_
+#define XFAIR_FAIRNESS_TRADEOFF_H_
+
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// The three axes plus their weighted aggregate, each in [0, 1].
+struct TradeoffScore {
+  double utility = 0.0;         ///< Accuracy.
+  double fairness = 0.0;        ///< 1 - |statistical parity difference|.
+  double explainability = 0.0;  ///< Global-surrogate fidelity.
+  double combined = 0.0;        ///< Weighted geometric mean of the three.
+};
+
+/// Axis weights (need not sum to 1; normalized internally). A zero weight
+/// removes the axis from the aggregate.
+struct TradeoffWeights {
+  double utility = 1.0;
+  double fairness = 1.0;
+  double explainability = 1.0;
+};
+
+/// Evaluates the combined score of `model` on `data`. The geometric mean
+/// makes the aggregate collapse when any weighted axis collapses — a
+/// model cannot buy fairness points with accuracy alone.
+TradeoffScore EvaluateTradeoff(const Model& model, const Dataset& data,
+                               const TradeoffWeights& weights = {});
+
+}  // namespace xfair
+
+#endif  // XFAIR_FAIRNESS_TRADEOFF_H_

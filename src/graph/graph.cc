@@ -1,0 +1,73 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+void Graph::AddEdge(size_t u, size_t v) {
+  XFAIR_CHECK(u < num_nodes() && v < num_nodes());
+  XFAIR_CHECK_MSG(u != v, "self-loops are implicit in propagation");
+  if (HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void Graph::RemoveEdge(size_t u, size_t v) {
+  XFAIR_CHECK(u < num_nodes() && v < num_nodes());
+  auto erase_from = [](std::vector<size_t>* list, size_t x) {
+    auto it = std::find(list->begin(), list->end(), x);
+    if (it != list->end()) list->erase(it);
+  };
+  erase_from(&adj_[u], v);
+  erase_from(&adj_[v], u);
+  const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+  auto it = std::find(edges_.begin(), edges_.end(), key);
+  if (it != edges_.end()) edges_.erase(it);
+}
+
+bool Graph::HasEdge(size_t u, size_t v) const {
+  XFAIR_CHECK(u < num_nodes() && v < num_nodes());
+  const auto& list = adj_[u];
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+const std::vector<size_t>& Graph::Neighbors(size_t u) const {
+  XFAIR_CHECK(u < num_nodes());
+  return adj_[u];
+}
+
+Matrix PropagateFeatures(const Graph& graph, const Matrix& features,
+                         size_t hops) {
+  XFAIR_CHECK(features.rows() == graph.num_nodes());
+  const size_t n = graph.num_nodes();
+  const size_t d = features.cols();
+  Vector inv_sqrt_deg(n);
+  for (size_t u = 0; u < n; ++u) {
+    inv_sqrt_deg[u] =
+        1.0 / std::sqrt(static_cast<double>(graph.Degree(u)) + 1.0);
+  }
+  Matrix h = features;
+  for (size_t hop = 0; hop < hops; ++hop) {
+    Matrix next(n, d);
+    for (size_t u = 0; u < n; ++u) {
+      // Self-loop term.
+      const double self_w = inv_sqrt_deg[u] * inv_sqrt_deg[u];
+      for (size_t c = 0; c < d; ++c)
+        next.At(u, c) = self_w * h.At(u, c);
+      for (size_t v : graph.Neighbors(u)) {
+        const double w = inv_sqrt_deg[u] * inv_sqrt_deg[v];
+        const double* row = h.RowPtr(v);
+        double* out = next.RowPtr(u);
+        for (size_t c = 0; c < d; ++c) out[c] += w * row[c];
+      }
+    }
+    h = std::move(next);
+  }
+  return h;
+}
+
+}  // namespace xfair

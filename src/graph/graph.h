@@ -1,0 +1,59 @@
+// Undirected graph substrate for the GNN-fairness methods (paper §IV-C).
+// Adjacency is stored as sorted edge lists; graphs here are small
+// (hundreds to thousands of nodes) so no CSR packing is needed.
+
+#ifndef XFAIR_GRAPH_GRAPH_H_
+#define XFAIR_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/util/matrix.h"
+
+namespace xfair {
+
+/// Simple undirected graph with stable node ids [0, n).
+class Graph {
+ public:
+  explicit Graph(size_t num_nodes = 0) : adj_(num_nodes) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Adds an undirected edge (idempotent; self-loops rejected by CHECK).
+  void AddEdge(size_t u, size_t v);
+  /// Removes the edge if present.
+  void RemoveEdge(size_t u, size_t v);
+  bool HasEdge(size_t u, size_t v) const;
+
+  const std::vector<size_t>& Neighbors(size_t u) const;
+  size_t Degree(size_t u) const { return Neighbors(u).size(); }
+
+  /// All edges as (u, v) with u < v.
+  const std::vector<std::pair<size_t, size_t>>& Edges() const {
+    return edges_;
+  }
+
+ private:
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+/// A node-attributed graph for node classification: features, binary
+/// labels, and protected-group membership per node.
+struct GraphData {
+  Graph graph;
+  Matrix features;          ///< Row per node.
+  std::vector<int> labels;  ///< 0/1 per node.
+  std::vector<int> groups;  ///< 0/1 per node.
+};
+
+/// Symmetric-normalized feature propagation with self-loops (the SGC /
+/// GCN aggregation): H = (D^-1/2 (A + I) D^-1/2)^hops X.
+Matrix PropagateFeatures(const Graph& graph, const Matrix& features,
+                         size_t hops);
+
+}  // namespace xfair
+
+#endif  // XFAIR_GRAPH_GRAPH_H_

@@ -1,0 +1,131 @@
+#include "src/mitigate/postprocess.h"
+
+#include <cmath>
+
+namespace xfair {
+
+GroupThresholdModel::GroupThresholdModel(const Model* base,
+                                         size_t sensitive_index,
+                                         double threshold_non_protected,
+                                         double threshold_protected)
+    : base_(base),
+      sensitive_index_(sensitive_index),
+      threshold_non_protected_(threshold_non_protected),
+      threshold_protected_(threshold_protected) {
+  XFAIR_CHECK(base != nullptr);
+}
+
+double GroupThresholdModel::PredictProba(const Vector& x) const {
+  return base_->PredictProba(x);
+}
+
+int GroupThresholdModel::Predict(const Vector& x) const {
+  XFAIR_CHECK(sensitive_index_ < x.size());
+  const double t = x[sensitive_index_] >= 0.5 ? threshold_protected_
+                                              : threshold_non_protected_;
+  return base_->PredictProba(x) >= t ? 1 : 0;
+}
+
+namespace {
+
+/// Counters for one (group, threshold) evaluation.
+struct GroupRates {
+  double positive_rate = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double correct = 0.0;  ///< Correct decisions (for accuracy).
+};
+
+GroupRates RatesAtThreshold(const Vector& scores,
+                            const std::vector<int>& labels,
+                            const std::vector<size_t>& members, double t) {
+  GroupRates r;
+  size_t pos = 0, tp = 0, fp = 0, label_pos = 0, correct = 0;
+  for (size_t i : members) {
+    const int pred = scores[i] >= t ? 1 : 0;
+    pos += static_cast<size_t>(pred);
+    label_pos += static_cast<size_t>(labels[i]);
+    tp += static_cast<size_t>(pred == 1 && labels[i] == 1);
+    fp += static_cast<size_t>(pred == 1 && labels[i] == 0);
+    correct += static_cast<size_t>(pred == labels[i]);
+  }
+  const double n = static_cast<double>(members.size());
+  const size_t label_neg = members.size() - label_pos;
+  r.positive_rate = pos / n;
+  r.tpr = label_pos ? static_cast<double>(tp) /
+                          static_cast<double>(label_pos)
+                    : 0.0;
+  r.fpr = label_neg ? static_cast<double>(fp) /
+                          static_cast<double>(label_neg)
+                    : 0.0;
+  r.correct = static_cast<double>(correct);
+  return r;
+}
+
+}  // namespace
+
+Result<GroupThresholdModel> FitGroupThresholds(
+    const Model& base, const Dataset& data,
+    const ThresholdSearchOptions& options) {
+  const int sens = data.schema().sensitive_index();
+  if (sens < 0) {
+    return Status::FailedPrecondition(
+        "dataset schema must carry its sensitive column");
+  }
+  const auto g0 = data.GroupIndices(0);
+  const auto g1 = data.GroupIndices(1);
+  if (g0.empty() || g1.empty()) {
+    return Status::InvalidArgument("both groups must be present");
+  }
+  const Vector scores = base.PredictProbaAll(data);
+  const std::vector<int>& labels = data.labels();
+
+  double best_gap = 1e30, best_correct = -1.0;
+  double best_t0 = 0.5, best_t1 = 0.5;
+  for (size_t a = 1; a < options.grid; ++a) {
+    const double t0 = static_cast<double>(a) /
+                      static_cast<double>(options.grid);
+    const GroupRates r0 = RatesAtThreshold(scores, labels, g0, t0);
+    for (size_t b = 1; b < options.grid; ++b) {
+      const double t1 = static_cast<double>(b) /
+                        static_cast<double>(options.grid);
+      const GroupRates r1 = RatesAtThreshold(scores, labels, g1, t1);
+      double gap = 0.0;
+      switch (options.criterion) {
+        case ThresholdCriterion::kStatisticalParity:
+          gap = std::fabs(r0.positive_rate - r1.positive_rate);
+          break;
+        case ThresholdCriterion::kEqualOpportunity:
+          gap = std::fabs(r0.tpr - r1.tpr);
+          break;
+        case ThresholdCriterion::kEqualizedOdds:
+          gap = std::max(std::fabs(r0.tpr - r1.tpr),
+                         std::fabs(r0.fpr - r1.fpr));
+          break;
+      }
+      const double correct = r0.correct + r1.correct;
+      // Prefer feasible pairs; among them maximize accuracy; otherwise
+      // minimize the gap.
+      const bool feasible = gap <= options.max_gap;
+      const bool best_feasible = best_gap <= options.max_gap;
+      bool better = false;
+      if (feasible && best_feasible) {
+        better = correct > best_correct;
+      } else if (feasible != best_feasible) {
+        better = feasible;
+      } else {
+        better = gap < best_gap;
+      }
+      if (better) {
+        best_gap = gap;
+        best_correct = correct;
+        best_t0 = t0;
+        best_t1 = t1;
+      }
+    }
+  }
+  return GroupThresholdModel(&base, static_cast<size_t>(sens), best_t0,
+                             best_t1);
+}
+
+}  // namespace xfair

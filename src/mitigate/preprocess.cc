@@ -1,0 +1,52 @@
+#include "src/mitigate/preprocess.h"
+
+#include <algorithm>
+
+namespace xfair {
+
+Vector ReweighingWeights(const Dataset& data) {
+  const double n = static_cast<double>(data.size());
+  XFAIR_CHECK(data.size() > 0);
+  double count_g[2] = {0, 0}, count_y[2] = {0, 0};
+  double count_gy[2][2] = {{0, 0}, {0, 0}};
+  for (size_t i = 0; i < data.size(); ++i) {
+    ++count_g[data.group(i)];
+    ++count_y[data.label(i)];
+    ++count_gy[data.group(i)][data.label(i)];
+  }
+  Vector weights(data.size(), 1.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int g = data.group(i), y = data.label(i);
+    if (count_gy[g][y] <= 0.0) continue;
+    weights[i] = (count_g[g] / n) * (count_y[y] / n) /
+                 (count_gy[g][y] / n);
+  }
+  return weights;
+}
+
+Dataset MassageLabels(const Dataset& data, const Model& ranker,
+                      size_t max_flips) {
+  // Promotion candidates: protected negatives, highest score first.
+  // Demotion candidates: non-protected positives, lowest score first.
+  std::vector<std::pair<double, size_t>> promote, demote;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double score = ranker.PredictProba(data.instance(i));
+    if (data.group(i) == 1 && data.label(i) == 0) {
+      promote.emplace_back(-score, i);  // Sort descending by score.
+    } else if (data.group(i) == 0 && data.label(i) == 1) {
+      demote.emplace_back(score, i);  // Sort ascending by score.
+    }
+  }
+  std::sort(promote.begin(), promote.end());
+  std::sort(demote.begin(), demote.end());
+  std::vector<int> labels = data.labels();
+  const size_t flips =
+      std::min({max_flips, promote.size(), demote.size()});
+  for (size_t k = 0; k < flips; ++k) {
+    labels[promote[k].second] = 1;
+    labels[demote[k].second] = 0;
+  }
+  return Dataset(data.schema(), data.x(), std::move(labels), data.groups());
+}
+
+}  // namespace xfair

@@ -1,0 +1,31 @@
+// Pre-processing mitigation (paper §II "stage of fairness"): transform the
+// training data so any downstream learner is fairer.
+//  - Reweighing (Kamiran & Calders): weight each (group, label) cell by
+//    P(g)P(y) / P(g, y) so group and label become statistically
+//    independent under the weighted empirical distribution.
+//  - Massaging: flip the labels of the most promising protected negatives
+//    and the most marginal non-protected positives, equalizing base rates
+//    with minimal label damage.
+
+#ifndef XFAIR_MITIGATE_PREPROCESS_H_
+#define XFAIR_MITIGATE_PREPROCESS_H_
+
+#include "src/data/dataset.h"
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// Instance weights that make group membership independent of the label.
+/// Cells with no mass get weight 1.
+Vector ReweighingWeights(const Dataset& data);
+
+/// Massaging: returns a copy of `data` with up to `max_flips` label pairs
+/// flipped (one promotion in G+, one demotion in G- per pair, chosen by
+/// `ranker` score). `ranker` should be a model trained on the original
+/// data; the instances closest to the boundary are flipped first.
+Dataset MassageLabels(const Dataset& data, const Model& ranker,
+                      size_t max_flips);
+
+}  // namespace xfair
+
+#endif  // XFAIR_MITIGATE_PREPROCESS_H_

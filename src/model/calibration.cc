@@ -1,0 +1,44 @@
+#include "src/model/calibration.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+Status PlattCalibrator::Fit(const Dataset& calibration_data) {
+  XFAIR_CHECK(base_ != nullptr);
+  const size_t n = calibration_data.size();
+  if (n == 0) return Status::InvalidArgument("empty calibration set");
+  Vector scores = base_->PredictProbaAll(calibration_data);
+  // 1-D logistic regression of labels on scores via gradient descent.
+  double a = 1.0, b = 0.0;
+  const double lr = 0.5;
+  for (int iter = 0; iter < 2000; ++iter) {
+    double ga = 0.0, gb = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double z = a * scores[i] + b;
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = p - static_cast<double>(calibration_data.label(i));
+      ga += err * scores[i];
+      gb += err;
+    }
+    ga /= static_cast<double>(n);
+    gb /= static_cast<double>(n);
+    a -= lr * ga;
+    b -= lr * gb;
+    if (std::fabs(ga) < 1e-7 && std::fabs(gb) < 1e-7) break;
+  }
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double PlattCalibrator::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "calibrator not fitted");
+  const double s = base_->PredictProba(x);
+  return 1.0 / (1.0 + std::exp(-(a_ * s + b_)));
+}
+
+}  // namespace xfair

@@ -1,0 +1,41 @@
+// Platt scaling: post-hoc probability calibration. Needed by the
+// calibration-based group-fairness metrics of Figure 1, which only make
+// sense for reasonably calibrated scores.
+
+#ifndef XFAIR_MODEL_CALIBRATION_H_
+#define XFAIR_MODEL_CALIBRATION_H_
+
+#include <memory>
+
+#include "src/model/model.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Wraps a base model and remaps its scores through a fitted sigmoid
+/// sigma(a * score + b).
+class PlattCalibrator final : public Model {
+ public:
+  /// `base` must outlive this calibrator.
+  explicit PlattCalibrator(const Model* base) : base_(base) {}
+
+  /// Fits (a, b) on a held-out calibration set by logistic regression of
+  /// labels on base scores.
+  Status Fit(const Dataset& calibration_data);
+
+  double PredictProba(const Vector& x) const override;
+  std::string name() const override { return base_->name() + "+platt"; }
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  const Model* base_;
+  bool fitted_ = false;
+  double a_ = 1.0;
+  double b_ = 0.0;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_CALIBRATION_H_

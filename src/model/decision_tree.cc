@@ -1,0 +1,144 @@
+#include "src/model/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+namespace {
+
+/// Gini impurity of a weighted binary label distribution.
+double Gini(double pos_weight, double total_weight) {
+  if (total_weight <= 0.0) return 0.0;
+  const double p = pos_weight / total_weight;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Dataset& data,
+                         const DecisionTreeOptions& options,
+                         const Vector& instance_weights) {
+  if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  if (!instance_weights.empty() && instance_weights.size() != data.size()) {
+    return Status::InvalidArgument("instance_weights size mismatch");
+  }
+  Vector weights = instance_weights;
+  if (weights.empty()) weights.assign(data.size(), 1.0);
+  nodes_.clear();
+  std::vector<size_t> indices;
+  indices.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i)
+    if (weights[i] > 0.0) indices.push_back(i);
+  if (indices.empty())
+    return Status::InvalidArgument("all instance weights are zero");
+  Rng rng(options.feature_seed);
+  Build(data, weights, indices, 0, options, &rng);
+  return Status::OK();
+}
+
+int DecisionTree::Build(const Dataset& data, const Vector& weights,
+                        std::vector<size_t>& indices, size_t depth,
+                        const DecisionTreeOptions& options, Rng* rng) {
+  double total = 0.0, pos = 0.0;
+  for (size_t i : indices) {
+    total += weights[i];
+    pos += weights[i] * static_cast<double>(data.label(i));
+  }
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].proba = total > 0.0 ? pos / total : 0.0;
+  nodes_[node_id].weight = total;
+
+  const bool pure = pos <= 1e-12 || pos >= total - 1e-12;
+  if (depth >= options.max_depth || pure ||
+      indices.size() < 2 * options.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<size_t> features;
+  const size_t d = data.num_features();
+  if (options.max_features > 0 && options.max_features < d) {
+    features = rng->SampleWithoutReplacement(d, options.max_features);
+  } else {
+    features.resize(d);
+    for (size_t c = 0; c < d; ++c) features[c] = c;
+  }
+
+  const double parent_impurity = Gini(pos, total);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  // Sort-and-scan for the best split per candidate feature.
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(indices.size());
+  for (size_t f : features) {
+    order.clear();
+    for (size_t i : indices) order.emplace_back(data.x().At(i, f), i);
+    std::sort(order.begin(), order.end());
+    double left_total = 0.0, left_pos = 0.0;
+    size_t left_count = 0;
+    for (size_t k = 0; k + 1 < order.size(); ++k) {
+      const size_t i = order[k].second;
+      left_total += weights[i];
+      left_pos += weights[i] * static_cast<double>(data.label(i));
+      ++left_count;
+      if (order[k].first == order[k + 1].first) continue;  // No cut here.
+      if (left_count < options.min_samples_leaf ||
+          order.size() - left_count < options.min_samples_leaf) {
+        continue;
+      }
+      const double right_total = total - left_total;
+      const double right_pos = pos - left_pos;
+      const double child_impurity =
+          (left_total * Gini(left_pos, left_total) +
+           right_total * Gini(right_pos, right_total)) /
+          total;
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (order[k].first + order[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;  // No useful split found.
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    if (data.x().At(i, static_cast<size_t>(best_feature)) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(data, weights, left_idx, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  const int right = Build(data, weights, right_idx, depth + 1, options, rng);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const Vector& x) const {
+  return nodes_[static_cast<size_t>(LeafIndex(x))].proba;
+}
+
+int DecisionTree::LeafIndex(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  int node = 0;
+  for (;;) {
+    const TreeNode& n = nodes_[static_cast<size_t>(node)];
+    if (n.feature < 0) return node;
+    XFAIR_CHECK(static_cast<size_t>(n.feature) < x.size());
+    node = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                            : n.right;
+  }
+}
+
+}  // namespace xfair

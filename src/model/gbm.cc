@@ -1,0 +1,158 @@
+#include "src/model/gbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+/// Builds one variance-reduction regression tree on `targets` and returns
+/// its node array. Leaf values use the Newton step for logistic loss:
+/// sum(residual) / sum(p(1-p)).
+struct TreeBuilder {
+  const Dataset& data;
+  const Vector& residuals;  // y - p per instance.
+  const Vector& hessians;   // p (1 - p) per instance.
+  const GbmOptions& options;
+  std::vector<GbmNode> nodes;
+
+  int Build(std::vector<size_t>& indices, size_t depth) {
+    const int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    double grad_sum = 0.0, hess_sum = 0.0;
+    for (size_t i : indices) {
+      grad_sum += residuals[i];
+      hess_sum += hessians[i];
+    }
+    nodes[id].value = grad_sum / std::max(hess_sum, 1e-12);
+
+    if (depth >= options.max_depth ||
+        indices.size() < 2 * options.min_samples_leaf) {
+      return id;
+    }
+
+    // Best split by squared-residual variance reduction.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(indices.size());
+    const double total_sum = grad_sum;
+    const double total_n = static_cast<double>(indices.size());
+    for (size_t f = 0; f < data.num_features(); ++f) {
+      order.clear();
+      for (size_t i : indices) order.emplace_back(data.x().At(i, f), i);
+      std::sort(order.begin(), order.end());
+      double left_sum = 0.0;
+      size_t left_n = 0;
+      for (size_t k = 0; k + 1 < order.size(); ++k) {
+        left_sum += residuals[order[k].second];
+        ++left_n;
+        if (order[k].first == order[k + 1].first) continue;
+        if (left_n < options.min_samples_leaf ||
+            order.size() - left_n < options.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = total_sum - left_sum;
+        const double right_n = total_n - static_cast<double>(left_n);
+        const double gain =
+            left_sum * left_sum / static_cast<double>(left_n) +
+            right_sum * right_sum / right_n -
+            total_sum * total_sum / total_n;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (order[k].first + order[k + 1].first);
+        }
+      }
+    }
+    if (best_feature < 0) return id;
+
+    std::vector<size_t> left_idx, right_idx;
+    for (size_t i : indices) {
+      (data.x().At(i, static_cast<size_t>(best_feature)) <= best_threshold
+           ? left_idx
+           : right_idx)
+          .push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty()) return id;
+    nodes[id].feature = best_feature;
+    nodes[id].threshold = best_threshold;
+    const int l = Build(left_idx, depth + 1);
+    nodes[id].left = l;
+    const int r = Build(right_idx, depth + 1);
+    nodes[id].right = r;
+    return id;
+  }
+};
+
+double TreeValue(const std::vector<GbmNode>& nodes, const Vector& x) {
+  int id = 0;
+  for (;;) {
+    const GbmNode& n = nodes[static_cast<size_t>(id)];
+    if (n.feature < 0) return n.value;
+    id = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                          : n.right;
+  }
+}
+
+}  // namespace
+
+Status GradientBoostedTrees::Fit(const Dataset& data,
+                                 const GbmOptions& options) {
+  const size_t n = data.size();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  if (options.num_rounds == 0) {
+    return Status::InvalidArgument("num_rounds must be positive");
+  }
+  learning_rate_ = options.learning_rate;
+  trees_.clear();
+
+  // Bias: log-odds of the base rate (clamped away from infinities).
+  double pos = 0.0;
+  for (size_t i = 0; i < n; ++i) pos += data.label(i);
+  const double rate =
+      std::min(std::max(pos / static_cast<double>(n), 1e-6), 1.0 - 1e-6);
+  bias_ = std::log(rate / (1.0 - rate));
+
+  Vector margins(n, bias_), residuals(n), hessians(n);
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+
+  for (size_t round = 0; round < options.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(margins[i]);
+      residuals[i] = static_cast<double>(data.label(i)) - p;
+      hessians[i] = std::max(p * (1.0 - p), 1e-6);
+    }
+    TreeBuilder builder{data, residuals, hessians, options, {}};
+    std::vector<size_t> indices = all;
+    builder.Build(indices, 0);
+    for (size_t i = 0; i < n; ++i) {
+      margins[i] +=
+          learning_rate_ * TreeValue(builder.nodes, data.instance(i));
+    }
+    trees_.push_back(std::move(builder.nodes));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GradientBoostedTrees::Margin(const Vector& x) const {
+  double m = bias_;
+  for (const auto& tree : trees_) m += learning_rate_ * TreeValue(tree, x);
+  return m;
+}
+
+double GradientBoostedTrees::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  return Sigmoid(Margin(x));
+}
+
+}  // namespace xfair

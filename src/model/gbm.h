@@ -1,0 +1,55 @@
+// Gradient-boosted trees for binary classification (logistic loss,
+// shallow regression trees on gradient residuals). The strongest tabular
+// black-box in the library — the kind of opaque production model the
+// surveyed post-hoc explainers exist for.
+
+#ifndef XFAIR_MODEL_GBM_H_
+#define XFAIR_MODEL_GBM_H_
+
+#include "src/model/model.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Training options for GradientBoostedTrees.
+struct GbmOptions {
+  size_t num_rounds = 60;
+  size_t max_depth = 3;
+  size_t min_samples_leaf = 5;
+  double learning_rate = 0.2;
+};
+
+/// One node of an internal regression tree (leaves have feature == -1).
+struct GbmNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1, right = -1;
+  double value = 0.0;  ///< Leaf output (margin-space step).
+};
+
+/// Boosted ensemble: margin(x) = bias + lr * sum_t tree_t(x);
+/// P(y=1|x) = sigmoid(margin).
+class GradientBoostedTrees final : public Model {
+ public:
+  GradientBoostedTrees() = default;
+
+  Status Fit(const Dataset& data, const GbmOptions& options = {});
+
+  double PredictProba(const Vector& x) const override;
+  std::string name() const override { return "gbm"; }
+
+  bool fitted() const { return fitted_; }
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  double Margin(const Vector& x) const;
+
+  bool fitted_ = false;
+  double bias_ = 0.0;
+  double learning_rate_ = 0.2;
+  std::vector<std::vector<GbmNode>> trees_;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_GBM_H_

@@ -1,0 +1,40 @@
+#include "src/model/knn.h"
+
+#include <algorithm>
+
+namespace xfair {
+
+Status KnnClassifier::Fit(const Dataset& data) {
+  if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  if (k_ == 0) return Status::InvalidArgument("k must be positive");
+  if (k_ > data.size()) {
+    return Status::InvalidArgument("k exceeds training-set size");
+  }
+  data_ = data;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<size_t> KnnClassifier::Neighbors(const Vector& x,
+                                             size_t k) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(k > 0 && k <= data_.size());
+  std::vector<std::pair<double, size_t>> dist(data_.size());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    dist[i] = {Norm2(Sub(data_.instance(i), x)), i};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+double KnnClassifier::PredictProba(const Vector& x) const {
+  const auto nn = Neighbors(x, k_);
+  double pos = 0.0;
+  for (size_t i : nn) pos += static_cast<double>(data_.label(i));
+  return pos / static_cast<double>(nn.size());
+}
+
+}  // namespace xfair

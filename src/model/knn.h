@@ -1,0 +1,39 @@
+// k-nearest-neighbor classifier. Doubles as the library's similarity oracle
+// for individual-fairness checks and nearest-neighbor explanations.
+
+#ifndef XFAIR_MODEL_KNN_H_
+#define XFAIR_MODEL_KNN_H_
+
+#include "src/model/model.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// k-NN with Euclidean distance over (typically standardized) features.
+class KnnClassifier final : public Model {
+ public:
+  explicit KnnClassifier(size_t k = 5) : k_(k) {}
+
+  /// Stores the training set. Requires k <= data.size().
+  Status Fit(const Dataset& data);
+
+  double PredictProba(const Vector& x) const override;
+  std::string name() const override { return "knn"; }
+
+  bool fitted() const { return fitted_; }
+
+  /// Indices (into the training set) of the k nearest neighbors of x,
+  /// closest first.
+  std::vector<size_t> Neighbors(const Vector& x, size_t k) const;
+
+  const Dataset& training_data() const { return data_; }
+
+ private:
+  size_t k_;
+  bool fitted_ = false;
+  Dataset data_;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_KNN_H_

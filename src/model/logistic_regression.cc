@@ -1,0 +1,124 @@
+#include "src/model/logistic_regression.h"
+
+#include <cmath>
+
+namespace xfair {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Dataset& data,
+                               const LogisticRegressionOptions& options,
+                               const Vector& instance_weights) {
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  if (!instance_weights.empty() && instance_weights.size() != n) {
+    return Status::InvalidArgument("instance_weights size mismatch");
+  }
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i)
+    total_weight += instance_weights.empty() ? 1.0 : instance_weights[i];
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("instance weights sum to zero");
+  }
+
+  // Internally standardize features so plain gradient descent is well
+  // conditioned on any input scale; parameters are folded back to the
+  // original space below.
+  Vector mean(d, 0.0), std(d, 1.0);
+  for (size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (size_t i = 0; i < n; ++i) m += data.x().At(i, c);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double delta = data.x().At(i, c) - m;
+      var += delta * delta;
+    }
+    var /= static_cast<double>(n);
+    mean[c] = m;
+    std[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  Vector w(d, 0.0);
+  double b = 0.0;
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    Vector grad_w(d, 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double wi = instance_weights.empty() ? 1.0 : instance_weights[i];
+      if (wi == 0.0) continue;
+      const double* row = data.x().RowPtr(i);
+      double z = b;
+      for (size_t c = 0; c < d; ++c)
+        z += w[c] * (row[c] - mean[c]) / std[c];
+      const double err = Sigmoid(z) - static_cast<double>(data.label(i));
+      const double scaled = wi * err;
+      for (size_t c = 0; c < d; ++c)
+        grad_w[c] += scaled * (row[c] - mean[c]) / std[c];
+      grad_b += scaled;
+    }
+    double max_abs = std::fabs(grad_b / total_weight);
+    for (size_t c = 0; c < d; ++c) {
+      grad_w[c] = grad_w[c] / total_weight + options.l2 * w[c];
+      max_abs = std::max(max_abs, std::fabs(grad_w[c]));
+    }
+    grad_b /= total_weight;
+    for (size_t c = 0; c < d; ++c) w[c] -= options.learning_rate * grad_w[c];
+    b -= options.learning_rate * grad_b;
+    if (max_abs < options.tolerance) break;
+  }
+
+  // Fold standardization into the parameters: w.(x-mu)/sd + b =
+  // (w/sd).x + (b - w.mu/sd).
+  for (size_t c = 0; c < d; ++c) {
+    w[c] /= std[c];
+    b -= w[c] * mean[c];
+  }
+  weights_ = std::move(w);
+  bias_ = b;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.size() == weights_.size());
+  return Sigmoid(Dot(weights_, x) + bias_);
+}
+
+Vector LogisticRegression::ProbaGradient(const Vector& x) const {
+  const double p = PredictProba(x);
+  return Scale(p * (1.0 - p), weights_);
+}
+
+void LogisticRegression::SetParameters(Vector weights, double bias) {
+  weights_ = std::move(weights);
+  bias_ = bias;
+  fitted_ = true;
+}
+
+double LogisticRegression::Margin(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  return Dot(weights_, x) + bias_;
+}
+
+double LogisticRegression::DistanceToBoundary(const Vector& x) const {
+  const double wnorm = Norm2(weights_);
+  if (wnorm < 1e-12) return 0.0;
+  const double logit_t =
+      std::log(threshold_ / (1.0 - threshold_));  // threshold in margin space
+  return std::fabs(Margin(x) - logit_t) / wnorm;
+}
+
+}  // namespace xfair

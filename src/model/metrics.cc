@@ -1,0 +1,126 @@
+#include "src/model/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+
+double Confusion::accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double Confusion::tpr() const {
+  const size_t pos = tp + fn;
+  return pos == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(pos);
+}
+
+double Confusion::fpr() const {
+  const size_t neg = fp + tn;
+  return neg == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(neg);
+}
+
+double Confusion::fnr() const {
+  const size_t pos = tp + fn;
+  return pos == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(pos);
+}
+
+double Confusion::precision() const {
+  const size_t pred_pos = tp + fp;
+  return pred_pos == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(pred_pos);
+}
+
+double Confusion::positive_rate() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + fp) / static_cast<double>(n);
+}
+
+Confusion EvaluateConfusion(const Model& model, const Dataset& data,
+                            const std::vector<size_t>& indices) {
+  Confusion c;
+  auto eval_one = [&](size_t i) {
+    const int pred = model.Predict(data.instance(i));
+    const int truth = data.label(i);
+    if (pred == 1 && truth == 1) ++c.tp;
+    if (pred == 1 && truth == 0) ++c.fp;
+    if (pred == 0 && truth == 0) ++c.tn;
+    if (pred == 0 && truth == 1) ++c.fn;
+  };
+  if (indices.empty()) {
+    for (size_t i = 0; i < data.size(); ++i) eval_one(i);
+  } else {
+    for (size_t i : indices) eval_one(i);
+  }
+  return c;
+}
+
+double Accuracy(const Model& model, const Dataset& data) {
+  return EvaluateConfusion(model, data).accuracy();
+}
+
+double Auc(const Model& model, const Dataset& data) {
+  std::vector<std::pair<double, int>> scored(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    scored[i] = {model.PredictProba(data.instance(i)), data.label(i)};
+  }
+  std::sort(scored.begin(), scored.end());
+  // Rank-sum (Mann-Whitney) with midranks for ties.
+  size_t n_pos = 0, n_neg = 0;
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < scored.size()) {
+    size_t j = i;
+    while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+    const double midrank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second == 1) {
+        ++n_pos;
+        rank_sum_pos += midrank;
+      } else {
+        ++n_neg;
+      }
+    }
+    i = j;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) *
+                       (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double ExpectedCalibrationError(const Model& model, const Dataset& data,
+                                size_t bins,
+                                const std::vector<size_t>& indices) {
+  XFAIR_CHECK(bins > 0);
+  std::vector<size_t> rows = indices;
+  if (rows.empty()) {
+    rows.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) rows[i] = i;
+  }
+  std::vector<double> conf_sum(bins, 0.0), label_sum(bins, 0.0);
+  std::vector<size_t> count(bins, 0);
+  for (size_t i : rows) {
+    const double p = model.PredictProba(data.instance(i));
+    size_t b = std::min(bins - 1, static_cast<size_t>(p * static_cast<double>(
+                                                              bins)));
+    conf_sum[b] += p;
+    label_sum[b] += static_cast<double>(data.label(i));
+    ++count[b];
+  }
+  double ece = 0.0;
+  const double n = static_cast<double>(rows.size());
+  for (size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    const double cb = static_cast<double>(count[b]);
+    ece += (cb / n) * std::fabs(conf_sum[b] / cb - label_sum[b] / cb);
+  }
+  return ece;
+}
+
+}  // namespace xfair

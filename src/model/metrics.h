@@ -1,0 +1,51 @@
+// Classification quality metrics (accuracy, confusion counts, AUC). The
+// fairness layer conditions these on group membership; this header is the
+// unconditioned substrate.
+
+#ifndef XFAIR_MODEL_METRICS_H_
+#define XFAIR_MODEL_METRICS_H_
+
+#include "src/data/dataset.h"
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// Confusion-matrix counts for binary classification.
+struct Confusion {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+  double accuracy() const;
+  /// True positive rate (recall); 0 if no positives.
+  double tpr() const;
+  /// False positive rate; 0 if no negatives.
+  double fpr() const;
+  /// False negative rate; 0 if no positives.
+  double fnr() const;
+  /// Precision (positive predictive value); 0 if no predicted positives.
+  double precision() const;
+  /// Rate of predicted-favorable outcomes, P(y_hat = 1).
+  double positive_rate() const;
+};
+
+/// Confusion counts of `model` on `data` (optionally restricted to
+/// `indices`; empty = all rows).
+Confusion EvaluateConfusion(const Model& model, const Dataset& data,
+                            const std::vector<size_t>& indices = {});
+
+/// Plain accuracy of `model` on `data`.
+double Accuracy(const Model& model, const Dataset& data);
+
+/// Area under the ROC curve of `model` scores on `data` (rank-based;
+/// 0.5 if one class is absent).
+double Auc(const Model& model, const Dataset& data);
+
+/// Expected calibration error with `bins` equal-width probability bins,
+/// optionally restricted to `indices`.
+double ExpectedCalibrationError(const Model& model, const Dataset& data,
+                                size_t bins = 10,
+                                const std::vector<size_t>& indices = {});
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_METRICS_H_

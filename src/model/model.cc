@@ -1,0 +1,18 @@
+#include "src/model/model.h"
+
+namespace xfair {
+
+std::vector<int> Model::PredictAll(const Dataset& data) const {
+  std::vector<int> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out[i] = Predict(data.instance(i));
+  return out;
+}
+
+Vector Model::PredictProbaAll(const Dataset& data) const {
+  Vector out(data.size());
+  for (size_t i = 0; i < data.size(); ++i)
+    out[i] = PredictProba(data.instance(i));
+  return out;
+}
+
+}  // namespace xfair

@@ -1,0 +1,56 @@
+// Model interfaces with explicit access tiers.
+//
+// The explanation taxonomy (paper §III) distinguishes black-box access
+// (predictions only), gradient access, and white-box access. These tiers
+// are modeled as interfaces: every explainer declares the weakest tier it
+// needs by the parameter type it takes.
+
+#ifndef XFAIR_MODEL_MODEL_H_
+#define XFAIR_MODEL_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/util/matrix.h"
+
+namespace xfair {
+
+/// Black-box tier: a trained binary classifier exposing only scores.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// P(y = 1 | x). Must be in [0, 1].
+  virtual double PredictProba(const Vector& x) const = 0;
+
+  /// Hard decision at the model's threshold (default 0.5).
+  virtual int Predict(const Vector& x) const {
+    return PredictProba(x) >= threshold_ ? 1 : 0;
+  }
+
+  /// Hard decisions for every row of `data`.
+  std::vector<int> PredictAll(const Dataset& data) const;
+  /// Scores for every row of `data`.
+  Vector PredictProbaAll(const Dataset& data) const;
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  /// Short human-readable model family name, e.g. "logreg".
+  virtual std::string name() const = 0;
+
+ protected:
+  double threshold_ = 0.5;
+};
+
+/// Gradient tier: models that can differentiate their score w.r.t. input.
+class GradientModel : public Model {
+ public:
+  /// d PredictProba(x) / d x.
+  virtual Vector ProbaGradient(const Vector& x) const = 0;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_MODEL_H_

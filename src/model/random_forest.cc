@@ -1,0 +1,45 @@
+#include "src/model/random_forest.h"
+
+#include <cmath>
+
+namespace xfair {
+
+Status RandomForest::Fit(const Dataset& data,
+                         const RandomForestOptions& options) {
+  if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  if (options.num_trees == 0)
+    return Status::InvalidArgument("num_trees must be positive");
+  trees_.clear();
+  trees_.reserve(options.num_trees);
+  Rng rng(options.seed);
+  const size_t n = data.size();
+  size_t max_features = options.max_features;
+  if (max_features == 0) {
+    max_features = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::sqrt(static_cast<double>(data.num_features()))));
+  }
+  for (size_t t = 0; t < options.num_trees; ++t) {
+    // Bootstrap resample expressed as instance weights (multiplicities).
+    Vector weights(n, 0.0);
+    for (size_t i = 0; i < n; ++i) weights[rng.Below(n)] += 1.0;
+    DecisionTreeOptions tree_opts;
+    tree_opts.max_depth = options.max_depth;
+    tree_opts.min_samples_leaf = options.min_samples_leaf;
+    tree_opts.max_features = max_features;
+    tree_opts.feature_seed = rng.Next();
+    DecisionTree tree;
+    XFAIR_RETURN_IF_ERROR(tree.Fit(data, tree_opts, weights));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.PredictProba(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace xfair

@@ -1,0 +1,194 @@
+#include "src/model/softmax_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+
+Status SoftmaxRegression::Fit(const Matrix& x,
+                              const std::vector<int>& labels,
+                              size_t num_classes,
+                              const SoftmaxRegressionOptions& options) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (int y : labels) {
+    if (y < 0 || y >= static_cast<int>(num_classes)) {
+      return Status::InvalidArgument("label out of range");
+    }
+  }
+
+  // Internal standardization (same rationale as LogisticRegression).
+  Vector mean(d, 0.0), std(d, 1.0);
+  for (size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (size_t i = 0; i < n; ++i) m += x.At(i, c);
+    m /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double delta = x.At(i, c) - m;
+      var += delta * delta;
+    }
+    var /= static_cast<double>(n);
+    mean[c] = m;
+    std[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  Matrix w(num_classes, d);
+  Vector b(num_classes, 0.0);
+  Vector logits(num_classes), probs(num_classes);
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    Matrix grad_w(num_classes, d);
+    Vector grad_b(num_classes, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double max_logit = -1e300;
+      for (size_t k = 0; k < num_classes; ++k) {
+        double z = b[k];
+        for (size_t c = 0; c < d; ++c)
+          z += w.At(k, c) * (x.At(i, c) - mean[c]) / std[c];
+        logits[k] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0.0;
+      for (size_t k = 0; k < num_classes; ++k) {
+        probs[k] = std::exp(logits[k] - max_logit);
+        denom += probs[k];
+      }
+      for (size_t k = 0; k < num_classes; ++k) {
+        const double err =
+            probs[k] / denom -
+            (labels[i] == static_cast<int>(k) ? 1.0 : 0.0);
+        for (size_t c = 0; c < d; ++c)
+          grad_w.At(k, c) += err * (x.At(i, c) - mean[c]) / std[c];
+        grad_b[k] += err;
+      }
+    }
+    for (size_t k = 0; k < num_classes; ++k) {
+      for (size_t c = 0; c < d; ++c) {
+        const double g = grad_w.At(k, c) / static_cast<double>(n) +
+                         options.l2 * w.At(k, c);
+        w.At(k, c) -= options.learning_rate * g;
+      }
+      b[k] -= options.learning_rate * grad_b[k] / static_cast<double>(n);
+    }
+  }
+
+  // Fold standardization back into the parameters.
+  for (size_t k = 0; k < num_classes; ++k) {
+    for (size_t c = 0; c < d; ++c) {
+      w.At(k, c) /= std[c];
+      b[k] -= w.At(k, c) * mean[c];
+    }
+  }
+  weights_ = std::move(w);
+  biases_ = std::move(b);
+  num_classes_ = num_classes;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Vector SoftmaxRegression::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.size() == weights_.cols());
+  Vector logits(num_classes_);
+  double max_logit = -1e300;
+  for (size_t k = 0; k < num_classes_; ++k) {
+    logits[k] = biases_[k] + Dot(weights_.Row(k), x);
+    max_logit = std::max(max_logit, logits[k]);
+  }
+  double denom = 0.0;
+  for (size_t k = 0; k < num_classes_; ++k) {
+    logits[k] = std::exp(logits[k] - max_logit);
+    denom += logits[k];
+  }
+  for (double& p : logits) p /= denom;
+  return logits;
+}
+
+int SoftmaxRegression::Predict(const Vector& x) const {
+  const Vector probs = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+Vector MulticlassParityProfile(const SoftmaxRegression& model,
+                               const Matrix& x,
+                               const std::vector<int>& groups) {
+  XFAIR_CHECK(x.rows() == groups.size());
+  const size_t k = model.num_classes();
+  Vector count_g0(k, 0.0), count_g1(k, 0.0);
+  size_t n0 = 0, n1 = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const int pred = model.Predict(x.Row(i));
+    if (groups[i] == 0) {
+      count_g0[static_cast<size_t>(pred)] += 1.0;
+      ++n0;
+    } else {
+      count_g1[static_cast<size_t>(pred)] += 1.0;
+      ++n1;
+    }
+  }
+  Vector profile(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    const double r0 = n0 ? count_g0[c] / static_cast<double>(n0) : 0.0;
+    const double r1 = n1 ? count_g1[c] / static_cast<double>(n1) : 0.0;
+    profile[c] = r0 - r1;
+  }
+  return profile;
+}
+
+double MulticlassParityGap(const SoftmaxRegression& model, const Matrix& x,
+                           const std::vector<int>& groups) {
+  double gap = 0.0;
+  for (double p : MulticlassParityProfile(model, x, groups)) {
+    gap = std::max(gap, std::fabs(p));
+  }
+  return gap;
+}
+
+double MulticlassAccuracy(const SoftmaxRegression& model, const Matrix& x,
+                          const std::vector<int>& labels) {
+  XFAIR_CHECK(x.rows() == labels.size());
+  if (x.rows() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    correct += static_cast<size_t>(model.Predict(x.Row(i)) == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(x.rows());
+}
+
+MulticlassCredit GenerateMulticlassCredit(size_t n, double score_shift,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  MulticlassCredit out;
+  out.x = Matrix(n, 4);
+  out.labels.resize(n);
+  out.groups.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int g = rng.Bernoulli(0.4) ? 1 : 0;
+    const double income =
+        rng.Normal(6.0 - 0.4 * score_shift * g, 2.0);
+    const double savings = rng.Normal(8.0, 3.0);
+    const double debt = rng.Normal(6.0, 2.5);
+    out.x.At(i, 0) = g;
+    out.x.At(i, 1) = income;
+    out.x.At(i, 2) = savings;
+    out.x.At(i, 3) = debt;
+    const double z = 0.5 * (income - 6.0) + 0.2 * (savings - 8.0) -
+                     0.3 * (debt - 6.0) -
+                     score_shift * static_cast<double>(g) +
+                     rng.Normal(0.0, 0.6);
+    // Three tiers: deny (0) / manual review (1) / approve (2).
+    out.labels[i] = z < -0.5 ? 0 : (z < 0.5 ? 1 : 2);
+    out.groups[i] = g;
+  }
+  return out;
+}
+
+}  // namespace xfair

@@ -1,0 +1,98 @@
+// Minimal knowledge-graph substrate for explainable recommendation
+// (paper §III "paths leading to answers serve as explanations" and §IV-C
+// [44]): typed entities, typed relations, and bounded-length path search
+// from a user to candidate items. Each found path doubles as the
+// recommendation's explanation; its relation sequence is the "path type"
+// the fairness-aware reranker diversifies over.
+
+#ifndef XFAIR_REC_KNOWLEDGE_GRAPH_H_
+#define XFAIR_REC_KNOWLEDGE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/beyond/kg_rerank.h"
+#include "src/rec/interactions.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Entity categories in the recommendation KG.
+enum class EntityType { kUser, kItem, kAttribute };
+
+/// A typed, directed edge (relations are stored both ways for traversal;
+/// `relation` is an id into relation_names()).
+struct KgEdge {
+  size_t target;
+  size_t relation;
+};
+
+/// Knowledge graph over users, items, and attribute entities.
+class KnowledgeGraph {
+ public:
+  /// Adds an entity; returns its id.
+  size_t AddEntity(EntityType type, const std::string& name);
+  /// Registers (or finds) a relation name; returns its id.
+  size_t RelationId(const std::string& name);
+  /// Adds a directed edge and its implicit inverse for traversal.
+  void AddTriple(size_t subject, const std::string& relation,
+                 size_t object);
+
+  size_t num_entities() const { return types_.size(); }
+  EntityType type(size_t entity) const;
+  const std::string& name(size_t entity) const;
+  const std::vector<std::string>& relation_names() const {
+    return relations_;
+  }
+
+  /// A path from a user to an item with its relation sequence.
+  struct Path {
+    std::vector<size_t> entities;   ///< user, ..., item.
+    std::vector<size_t> relations;  ///< One per hop.
+    /// Path-type id: hash of the relation sequence, stable across calls.
+    int type_id = 0;
+    /// Relevance: product of 1/degree along the path (path-constrained
+    /// random-walk probability), so short paths through specific
+    /// entities score higher.
+    double relevance = 0.0;
+  };
+
+  /// Enumerates simple paths of length <= max_hops from `user` to any
+  /// item entity the user is not directly connected to, keeping the best
+  /// path per item.
+  std::vector<Path> FindItemPaths(size_t user, size_t max_hops) const;
+
+  /// Converts found paths to the reranker's candidate format, attaching
+  /// each item's group from `item_groups` (indexed by entity id).
+  std::vector<ExplainedCandidate> ToCandidates(
+      const std::vector<Path>& paths,
+      const std::vector<int>& item_groups) const;
+
+ private:
+  std::vector<EntityType> types_;
+  std::vector<std::string> names_;
+  std::vector<std::string> relations_;
+  std::vector<std::vector<KgEdge>> adjacency_;
+};
+
+/// A KG materialized from a RecWorld: interaction triples plus randomly
+/// assigned item attributes (the side information KG-based recommenders
+/// exploit).
+struct KgWorld {
+  KnowledgeGraph kg;
+  std::vector<size_t> user_entities;  ///< Entity id per RecWorld user.
+  std::vector<size_t> item_entities;  ///< Entity id per RecWorld item.
+  /// Item group per *entity id* (0 for non-item entities), ready for
+  /// KnowledgeGraph::ToCandidates.
+  std::vector<int> entity_item_groups;
+};
+
+/// Builds the KG: one "interacted" triple per interaction and
+/// "has_attribute" triples linking each item to 1-2 of `num_attributes`
+/// attribute entities (deterministic in `seed`).
+KgWorld BuildKgFromRecWorld(const RecWorld& world, size_t num_attributes,
+                            uint64_t seed);
+
+}  // namespace xfair
+
+#endif  // XFAIR_REC_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,104 @@
+#include "src/rec/mf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status MatrixFactorization::Fit(const Interactions& interactions,
+                                const MfOptions& options) {
+  if (interactions.num_interactions() == 0) {
+    return Status::InvalidArgument("no interactions to fit");
+  }
+  if (options.rank == 0) {
+    return Status::InvalidArgument("rank must be positive");
+  }
+  rank_ = options.rank;
+  Rng rng(options.seed);
+  const size_t nu = interactions.num_users();
+  const size_t ni = interactions.num_items();
+  users_ = Matrix(nu, rank_);
+  items_ = Matrix(ni, rank_);
+  for (size_t u = 0; u < nu; ++u)
+    for (size_t f = 0; f < rank_; ++f)
+      users_.At(u, f) = rng.Normal(0.0, 0.1);
+  for (size_t i = 0; i < ni; ++i)
+    for (size_t f = 0; f < rank_; ++f)
+      items_.At(i, f) = rng.Normal(0.0, 0.1);
+
+  auto update = [&](size_t u, size_t i, double label) {
+    double z = 0.0;
+    for (size_t f = 0; f < rank_; ++f)
+      z += users_.At(u, f) * items_.At(i, f);
+    const double err = Sigmoid(z) - label;
+    for (size_t f = 0; f < rank_; ++f) {
+      const double pu = users_.At(u, f), qi = items_.At(i, f);
+      users_.At(u, f) -=
+          options.learning_rate * (err * qi + options.l2 * pu);
+      items_.At(i, f) -=
+          options.learning_rate * (err * pu + options.l2 * qi);
+    }
+  };
+
+  std::vector<std::pair<size_t, size_t>> positives = interactions.pairs();
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&positives);
+    for (const auto& [u, i] : positives) {
+      update(u, i, 1.0);
+      for (size_t neg = 0; neg < options.negatives_per_positive; ++neg) {
+        const size_t j = rng.Below(ni);
+        if (!interactions.Has(u, j)) update(u, j, 0.0);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double MatrixFactorization::Score(size_t user, size_t item) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(user < users_.rows() && item < items_.rows());
+  double z = 0.0;
+  for (size_t f = 0; f < rank_; ++f)
+    z += users_.At(user, f) * items_.At(item, f);
+  return z;
+}
+
+double MatrixFactorization::ScoreWithDampedFactor(size_t user, size_t item,
+                                                  size_t f,
+                                                  double scale) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(f < rank_);
+  double z = 0.0;
+  for (size_t k = 0; k < rank_; ++k) {
+    const double damp = k == f ? scale : 1.0;
+    z += users_.At(user, k) * items_.At(item, k) * damp;
+  }
+  return z;
+}
+
+std::vector<size_t> MatrixFactorization::RankItems(
+    const Interactions& interactions, size_t user, size_t k) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  std::vector<size_t> order;
+  for (size_t i = 0; i < items_.rows(); ++i)
+    if (!interactions.Has(user, i)) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double sa = Score(user, a), sb = Score(user, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+}  // namespace xfair

@@ -1,0 +1,83 @@
+// Shared vocabulary for group-counterfactual methods (FACTS [77], CE trees
+// [76], AReS [74]): quantile discretization of features, candidate "set
+// feature to value" actions, and action effectiveness/cost over instance
+// sets.
+
+#ifndef XFAIR_UNFAIR_ACTIONS_H_
+#define XFAIR_UNFAIR_ACTIONS_H_
+
+#include <string>
+
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// Quantile-based per-feature binning learned from a dataset.
+class Discretizer {
+ public:
+  /// Learns up to `bins` quantile bins per feature (fewer if the feature
+  /// has few distinct values; binary/categorical features get one bin per
+  /// value).
+  Discretizer(const Dataset& data, size_t bins);
+
+  size_t num_features() const { return representatives_.size(); }
+  size_t NumBins(size_t feature) const;
+  /// Bin index of a value.
+  size_t BinOf(size_t feature, double value) const;
+  /// Representative (median-ish) value of a bin.
+  double Representative(size_t feature, size_t bin) const;
+  /// Human-readable bin description, e.g. "income in [3.1, 5.2)".
+  std::string BinLabel(const Schema& schema, size_t feature,
+                       size_t bin) const;
+
+ private:
+  // edges_[f] = sorted inner edges; bin i is (edge[i-1], edge[i]].
+  std::vector<Vector> edges_;
+  std::vector<Vector> representatives_;
+};
+
+/// An atomic recourse action: set one feature to a target value.
+struct Action {
+  size_t feature;
+  double target_value;
+
+  /// Whether the action is feasible for instance x under the schema
+  /// (direction and immutability).
+  bool ApplicableTo(const Schema& schema, const Vector& x) const;
+  /// x with the action applied (caller must have checked applicability).
+  Vector ApplyTo(const Vector& x) const;
+  /// Range-normalized magnitude of the change for x.
+  double Cost(const Schema& schema, const Vector& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A conjunction of atomic actions (applied together).
+struct CompositeAction {
+  std::vector<Action> actions;
+
+  bool ApplicableTo(const Schema& schema, const Vector& x) const;
+  Vector ApplyTo(const Vector& x) const;
+  double Cost(const Schema& schema, const Vector& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Enumerates candidate atomic actions: for every actionable feature, one
+/// action per discretizer bin representative (skipping bins identical to
+/// the current value at evaluation time).
+std::vector<Action> EnumerateActions(const Schema& schema,
+                                     const Discretizer& disc);
+
+/// eff(a, G): fraction of the given instances that are applicable and
+/// whose prediction flips to `target_class` under the action.
+double ActionEffectiveness(const Model& model, const Dataset& data,
+                           const std::vector<size_t>& instances,
+                           const CompositeAction& action, int target_class);
+
+/// Mean cost of the action over the instances it applies to (0 if none).
+double ActionMeanCost(const Dataset& data,
+                      const std::vector<size_t>& instances,
+                      const CompositeAction& action);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UNFAIR_ACTIONS_H_

@@ -1,0 +1,53 @@
+// Burden [72] and NAWB [73] (paper §IV-A): counterfactual-based fairness
+// *metrics* — Direction (a), "explanations to enhance fairness metrics".
+//
+// Burden(G) averages the distance between each negatively-classified member
+// of G and its counterfactual: the effort the model implicitly demands of
+// the group. NAWB (normalized accuracy-weighted burden) restricts to false
+// negatives and normalizes by feature count and the group's positive mass,
+// fusing burden with the error-rate dimension.
+
+#ifndef XFAIR_UNFAIR_BURDEN_H_
+#define XFAIR_UNFAIR_BURDEN_H_
+
+#include "src/explain/counterfactual.h"
+
+namespace xfair {
+
+/// Which instances a group counterfactual metric runs over (paper §IV-A:
+/// parity fairness vs error-based fairness).
+enum class BurdenScope {
+  kAllNegatives,    ///< Everyone predicted unfavorable (parity view).
+  kFalseNegatives,  ///< Only y=1 predicted unfavorable (error view).
+};
+
+/// Per-group burden summary.
+struct BurdenReport {
+  double burden_protected = 0.0;      ///< Mean CF distance in G+.
+  double burden_non_protected = 0.0;  ///< Mean CF distance in G-.
+  /// burden_protected - burden_non_protected: positive = the protected
+  /// group must travel farther for a favorable outcome.
+  double burden_gap = 0.0;
+  size_t counterfactuals_protected = 0;      ///< Valid CFs found in G+.
+  size_t counterfactuals_non_protected = 0;  ///< Valid CFs found in G-.
+  size_t failures = 0;  ///< Instances where no CF was found (excluded).
+};
+
+/// Computes burden with the growing-spheres generator (black-box tier).
+BurdenReport ComputeBurden(const Model& model, const Dataset& data,
+                           BurdenScope scope,
+                           const CounterfactualConfig& config, Rng* rng);
+
+/// NAWB per group [73]:
+///   NAWB_g = sum_{i in FN_g} distance(x_i, x_i') / (L * |{y=1, G=g}|).
+struct NawbReport {
+  double nawb_protected = 0.0;
+  double nawb_non_protected = 0.0;
+  double nawb_gap = 0.0;  ///< protected - non_protected.
+};
+NawbReport ComputeNawb(const Model& model, const Dataset& data,
+                       const CounterfactualConfig& config, Rng* rng);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UNFAIR_BURDEN_H_

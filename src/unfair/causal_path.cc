@@ -1,0 +1,68 @@
+#include "src/unfair/causal_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xfair {
+
+CausalPathReport DecomposeDisparityByPaths(const Model& model,
+                                           const CausalWorld& world,
+                                           size_t num_samples,
+                                           uint64_t seed) {
+  XFAIR_CHECK(num_samples > 0);
+  const Scm& scm = world.scm;
+  const Dag& dag = scm.dag();
+  const size_t s = world.sensitive;
+  CausalPathReport report;
+
+  // Enumerate all paths from S to every descendant.
+  for (size_t target : dag.Descendants(s)) {
+    for (const auto& path : dag.AllPaths(s, target)) {
+      PathContribution pc;
+      pc.path = path;
+      for (size_t k = 0; k < path.size(); ++k) {
+        if (k > 0) pc.description += " -> ";
+        pc.description += dag.name(path[k]);
+      }
+      double w = 1.0;
+      for (size_t k = 0; k + 1 < path.size(); ++k)
+        w *= scm.EdgeWeight(path[k], path[k + 1]);
+      // Shift transmitted to the terminal node when S moves 1 -> 0.
+      pc.transmitted_shift = w * (0.0 - 1.0);
+      report.paths.push_back(std::move(pc));
+    }
+  }
+
+  // Monte Carlo: sample protected-world instances; measure (a) the true
+  // disparity via the S: 1 -> 0 counterfactual and (b) each path's
+  // contribution by shifting only that path's terminal input.
+  Rng rng(seed);
+  double total = 0.0;
+  Vector per_path(report.paths.size(), 0.0);
+  for (size_t n = 0; n < num_samples; ++n) {
+    const Vector x1 = scm.SampleDo({{s, 1.0}}, &rng);
+    const Vector x0 = scm.Counterfactual(x1, {{s, 0.0}});
+    const double f1 = model.PredictProba(x1);
+    total += model.PredictProba(x0) - f1;
+    for (size_t p = 0; p < report.paths.size(); ++p) {
+      Vector shifted = x1;
+      const size_t terminal = report.paths[p].path.back();
+      shifted[terminal] += report.paths[p].transmitted_shift;
+      per_path[p] += model.PredictProba(shifted) - f1;
+    }
+  }
+  report.total_disparity = total / static_cast<double>(num_samples);
+  for (size_t p = 0; p < report.paths.size(); ++p) {
+    report.paths[p].score_contribution =
+        per_path[p] / static_cast<double>(num_samples);
+    report.explained_disparity += report.paths[p].score_contribution;
+  }
+  std::sort(report.paths.begin(), report.paths.end(),
+            [](const PathContribution& a, const PathContribution& b) {
+              return std::fabs(a.score_contribution) >
+                     std::fabs(b.score_contribution);
+            });
+  return report;
+}
+
+}  // namespace xfair

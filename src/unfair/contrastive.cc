@@ -1,0 +1,79 @@
+#include "src/unfair/contrastive.h"
+
+namespace xfair {
+
+InterventionQueryResult EstimateInterventionQuery(
+    const Model& model, const Scm& scm, size_t sensitive, int group,
+    const std::vector<Intervention>& dos, size_t num_samples,
+    uint64_t seed) {
+  XFAIR_CHECK(num_samples > 0);
+  Rng rng(seed);
+  std::vector<Intervention> all = dos;
+  all.push_back({sensitive, static_cast<double>(group)});
+  size_t favorable = 0;
+  for (size_t n = 0; n < num_samples; ++n) {
+    const Vector x = scm.SampleDo(all, &rng);
+    favorable += static_cast<size_t>(model.Predict(x) == 1);
+  }
+  InterventionQueryResult out;
+  out.samples = num_samples;
+  out.favorable_rate =
+      static_cast<double>(favorable) / static_cast<double>(num_samples);
+  return out;
+}
+
+ContrastiveReport ContrastInterventions(
+    const Model& model, const Scm& scm, size_t sensitive,
+    const std::vector<Intervention>& dos,
+    const std::vector<Intervention>& reverted_dos, size_t num_samples,
+    uint64_t seed) {
+  XFAIR_CHECK(num_samples > 0);
+  ContrastiveReport report;
+  Rng rng(seed);
+  for (int group : {0, 1}) {
+    size_t unfavorable_seen = 0, rescued = 0;
+    size_t favorable_seen = 0, lost = 0;
+    // Oversample so both conditioning events accumulate enough mass.
+    for (size_t n = 0; n < num_samples * 4; ++n) {
+      const Vector x = scm.SampleDo(
+          {{sensitive, static_cast<double>(group)}}, &rng);
+      const int pred = model.Predict(x);
+      if (pred == 0 && unfavorable_seen < num_samples) {
+        ++unfavorable_seen;
+        // Sufficiency: apply the intervention counterfactually.
+        const Vector cf = scm.Counterfactual(x, dos);
+        rescued += static_cast<size_t>(model.Predict(cf) == 1);
+      } else if (pred == 1 && favorable_seen < num_samples) {
+        ++favorable_seen;
+        // Necessity: revert the putative cause.
+        const Vector cf = scm.Counterfactual(x, reverted_dos);
+        lost += static_cast<size_t>(model.Predict(cf) == 0);
+      }
+      if (unfavorable_seen >= num_samples && favorable_seen >= num_samples)
+        break;
+    }
+    const double suff = unfavorable_seen == 0
+                            ? 0.0
+                            : static_cast<double>(rescued) /
+                                  static_cast<double>(unfavorable_seen);
+    const double nec =
+        favorable_seen == 0
+            ? 0.0
+            : static_cast<double>(lost) /
+                  static_cast<double>(favorable_seen);
+    if (group == 1) {
+      report.sufficiency_protected = suff;
+      report.necessity_protected = nec;
+    } else {
+      report.sufficiency_non_protected = suff;
+      report.necessity_non_protected = nec;
+    }
+  }
+  report.sufficiency_gap =
+      report.sufficiency_non_protected - report.sufficiency_protected;
+  report.necessity_gap =
+      report.necessity_non_protected - report.necessity_protected;
+  return report;
+}
+
+}  // namespace xfair

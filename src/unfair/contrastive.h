@@ -1,0 +1,58 @@
+// Probabilistic contrastive counterfactuals [10] (paper §IV-A): actions
+// phrased as *intervention queries* over a probabilistic causal model that
+// can be estimated from historical data — no structural-equation
+// assumptions at query time. The two headline quantities are the classic
+// probabilities of causation:
+//   sufficiency  P(favorable after do(a) | currently unfavorable)
+//   necessity    P(unfavorable after do(a') | currently favorable via a)
+// contrasted across protected groups.
+
+#ifndef XFAIR_UNFAIR_CONTRASTIVE_H_
+#define XFAIR_UNFAIR_CONTRASTIVE_H_
+
+#include "src/causal/scm.h"
+#include "src/model/model.h"
+
+namespace xfair {
+
+/// Result of one intervention query on one group.
+struct InterventionQueryResult {
+  /// P(f = 1 | do(intervention), G = g), estimated by sampling the SCM
+  /// with the group variable fixed.
+  double favorable_rate = 0.0;
+  size_t samples = 0;
+};
+
+/// Estimates P(f = 1 | do(dos), G = group) by Monte Carlo over `scm`.
+/// `sensitive` is the SCM node index of the group variable.
+InterventionQueryResult EstimateInterventionQuery(
+    const Model& model, const Scm& scm, size_t sensitive, int group,
+    const std::vector<Intervention>& dos, size_t num_samples,
+    uint64_t seed);
+
+/// Probabilities of sufficiency/necessity of an intervention for the
+/// favorable outcome, per group, plus their contrast.
+struct ContrastiveReport {
+  double sufficiency_protected = 0.0;
+  double sufficiency_non_protected = 0.0;
+  double necessity_protected = 0.0;
+  double necessity_non_protected = 0.0;
+  /// sufficiency gap (non-protected - protected): positive = the same
+  /// intervention rescues the non-protected group more often.
+  double sufficiency_gap = 0.0;
+  double necessity_gap = 0.0;
+};
+
+/// For intervention `dos` (e.g. do(income := high)): sufficiency is
+/// estimated over individuals currently predicted unfavorable; necessity
+/// over those currently favorable, by applying the SCM counterfactual of
+/// the *reverted* intervention `reverted_dos` (e.g. do(income := low)).
+ContrastiveReport ContrastInterventions(
+    const Model& model, const Scm& scm, size_t sensitive,
+    const std::vector<Intervention>& dos,
+    const std::vector<Intervention>& reverted_dos, size_t num_samples,
+    uint64_t seed);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UNFAIR_CONTRASTIVE_H_

@@ -1,0 +1,175 @@
+#include "src/unfair/facts.h"
+
+#include <algorithm>
+
+namespace xfair {
+namespace {
+
+/// Indices of affected instances matching every (feature, bin) condition.
+std::vector<size_t> MatchSubgroup(
+    const Dataset& data, const Discretizer& disc,
+    const std::vector<size_t>& affected,
+    const std::vector<std::pair<size_t, size_t>>& conditions, int group) {
+  std::vector<size_t> out;
+  for (size_t i : affected) {
+    if (data.group(i) != group) continue;
+    bool match = true;
+    for (const auto& [f, b] : conditions) {
+      if (disc.BinOf(f, data.x().At(i, f)) != b) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(i);
+  }
+  return out;
+}
+
+/// Audits one subgroup: effectiveness of every candidate action per side.
+void Audit(const Model& model, const Dataset& data,
+           const std::vector<Action>& candidates, FactsSubgroup* sg,
+           const std::vector<size_t>& members_p,
+           const std::vector<size_t>& members_np, double phi) {
+  for (const Action& a : candidates) {
+    const CompositeAction ca{{a}};
+    const double eff_p =
+        ActionEffectiveness(model, data, members_p, ca, 1);
+    const double eff_np =
+        ActionEffectiveness(model, data, members_np, ca, 1);
+    if (eff_p > sg->best_effectiveness_protected) {
+      sg->best_effectiveness_protected = eff_p;
+      sg->best_action_protected = ca;
+    }
+    if (eff_np > sg->best_effectiveness_non_protected) {
+      sg->best_effectiveness_non_protected = eff_np;
+      sg->best_action_non_protected = ca;
+    }
+    sg->unfairness = std::max(sg->unfairness, eff_np - eff_p);
+    if (eff_p >= phi) ++sg->choices_protected;
+    if (eff_np >= phi) ++sg->choices_non_protected;
+  }
+}
+
+}  // namespace
+
+FactsReport RunFacts(const Model& model, const Dataset& data,
+                     const FactsOptions& options) {
+  FactsReport report;
+  // Affected population: everyone the classifier denies.
+  std::vector<size_t> affected;
+  for (size_t i = 0; i < data.size(); ++i)
+    if (model.Predict(data.instance(i)) == 0) affected.push_back(i);
+  if (affected.empty()) return report;
+
+  Discretizer disc(data, options.bins);
+  const std::vector<Action> candidates =
+      EnumerateActions(data.schema(), disc);
+  const size_t min_count = static_cast<size_t>(
+      options.min_support * static_cast<double>(affected.size()));
+
+  // Frequent single conditions over the affected population.
+  using Conditions = std::vector<std::pair<size_t, size_t>>;
+  std::vector<Conditions> frontier;
+  const int sens = data.schema().sensitive_index();
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    // The sensitive column itself would make degenerate single-group
+    // subgroups; skip it as a descriptor.
+    if (static_cast<int>(f) == sens) continue;
+    for (size_t b = 0; b < disc.NumBins(f); ++b) {
+      size_t support = 0;
+      for (size_t i : affected)
+        support +=
+            static_cast<size_t>(disc.BinOf(f, data.x().At(i, f)) == b);
+      if (support >= std::max<size_t>(min_count, 1)) {
+        frontier.push_back({{f, b}});
+      }
+    }
+  }
+
+  // Apriori-style extension to pairs (and beyond if configured).
+  std::vector<Conditions> all_subgroups = frontier;
+  std::vector<Conditions> current = frontier;
+  for (size_t depth = 2; depth <= options.max_itemset; ++depth) {
+    std::vector<Conditions> next;
+    for (const auto& base : current) {
+      for (const auto& ext : frontier) {
+        const auto& [f, b] = ext[0];
+        if (f <= base.back().first) continue;  // Canonical order.
+        Conditions cand = base;
+        cand.push_back({f, b});
+        size_t support = 0;
+        for (size_t i : affected) {
+          bool match = true;
+          for (const auto& [cf, cb] : cand) {
+            if (disc.BinOf(cf, data.x().At(i, cf)) != cb) {
+              match = false;
+              break;
+            }
+          }
+          support += static_cast<size_t>(match);
+        }
+        if (support >= std::max<size_t>(min_count, 1)) {
+          next.push_back(std::move(cand));
+        }
+      }
+    }
+    all_subgroups.insert(all_subgroups.end(), next.begin(), next.end());
+    current = std::move(next);
+  }
+
+  // Audit every frequent subgroup that has members on both sides.
+  std::vector<FactsSubgroup> audited;
+  for (const auto& conditions : all_subgroups) {
+    const auto members_p =
+        MatchSubgroup(data, disc, affected, conditions, 1);
+    const auto members_np =
+        MatchSubgroup(data, disc, affected, conditions, 0);
+    if (members_p.size() < options.min_group_members ||
+        members_np.size() < options.min_group_members) {
+      continue;
+    }
+    FactsSubgroup sg;
+    sg.conditions = conditions;
+    for (size_t k = 0; k < conditions.size(); ++k) {
+      if (k > 0) sg.description += " AND ";
+      sg.description += disc.BinLabel(data.schema(), conditions[k].first,
+                                      conditions[k].second);
+    }
+    sg.affected_protected = members_p.size();
+    sg.affected_non_protected = members_np.size();
+    Audit(model, data, candidates, &sg, members_p, members_np, options.phi);
+    audited.push_back(std::move(sg));
+  }
+  report.subgroups_examined = audited.size();
+
+  // Classifier-level fairness of recourse on the trivial subgroup.
+  {
+    FactsSubgroup everyone;
+    std::vector<size_t> all_p, all_np;
+    for (size_t i : affected)
+      (data.group(i) == 1 ? all_p : all_np).push_back(i);
+    Audit(model, data, candidates, &everyone, all_p, all_np, options.phi);
+    report.overall_best_effectiveness_protected =
+        everyone.best_effectiveness_protected;
+    report.overall_best_effectiveness_non_protected =
+        everyone.best_effectiveness_non_protected;
+    report.overall_effectiveness_gap =
+        everyone.best_effectiveness_non_protected -
+        everyone.best_effectiveness_protected;
+    report.overall_choices_protected = everyone.choices_protected;
+    report.overall_choices_non_protected = everyone.choices_non_protected;
+    report.overall_choice_gap =
+        static_cast<double>(everyone.choices_non_protected) -
+        static_cast<double>(everyone.choices_protected);
+  }
+
+  std::sort(audited.begin(), audited.end(),
+            [](const FactsSubgroup& a, const FactsSubgroup& b) {
+              return a.unfairness > b.unfairness;
+            });
+  if (audited.size() > options.top_k) audited.resize(options.top_k);
+  report.ranked_subgroups = std::move(audited);
+  return report;
+}
+
+}  // namespace xfair

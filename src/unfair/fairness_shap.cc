@@ -1,0 +1,103 @@
+#include "src/unfair/fairness_shap.h"
+
+#include <algorithm>
+
+#include "src/fairness/group_metrics.h"
+#include "src/model/logistic_regression.h"
+
+namespace xfair {
+namespace {
+
+/// Dataset restricted to the features in `mask`.
+Dataset SelectFeatures(const Dataset& data, const std::vector<bool>& mask) {
+  std::vector<size_t> kept;
+  for (size_t c = 0; c < mask.size(); ++c)
+    if (mask[c]) kept.push_back(c);
+  Matrix x(data.size(), kept.size());
+  for (size_t r = 0; r < data.size(); ++r)
+    for (size_t k = 0; k < kept.size(); ++k)
+      x.At(r, k) = data.x().At(r, kept[k]);
+  std::vector<FeatureSpec> specs;
+  for (size_t c : kept) specs.push_back(data.schema().feature(c));
+  // Sensitive index bookkeeping is irrelevant for gap evaluation.
+  Schema schema(std::move(specs), -1);
+  return Dataset(std::move(schema), std::move(x), data.labels(),
+                 data.groups());
+}
+
+}  // namespace
+
+FairnessShapReport ExplainParityWithShapley(
+    const Model& model, const Dataset& data,
+    const FairnessShapOptions& options) {
+  const size_t d = data.num_features();
+  XFAIR_CHECK(d > 0);
+  Rng rng(options.seed);
+
+  CoalitionValue value;
+  if (options.mode == FairnessShapMode::kRetrain) {
+    value = [&data](const std::vector<bool>& mask) {
+      bool any = false;
+      for (bool m : mask) any |= m;
+      if (!any) return 0.0;  // Featureless model treats groups equally.
+      Dataset sub = SelectFeatures(data, mask);
+      LogisticRegression lr;
+      LogisticRegressionOptions opts;
+      opts.max_iters = 200;  // Coalition models need only rough fits.
+      if (!lr.Fit(sub, opts).ok()) return 0.0;
+      return StatisticalParityDifference(lr, sub);
+    };
+  } else {
+    // Masking mode: marginalize absent features to the global mean.
+    Vector background(d);
+    for (size_t c = 0; c < d; ++c) {
+      double acc = 0.0;
+      for (size_t i = 0; i < data.size(); ++i) acc += data.x().At(i, c);
+      background[c] = acc / static_cast<double>(data.size());
+    }
+    const size_t sample = std::min<size_t>(
+        data.size(), std::max<size_t>(options.background_size * 10, 200));
+    auto rows = rng.SampleWithoutReplacement(data.size(), sample);
+    value = [&model, &data, background = std::move(background),
+             rows = std::move(rows)](const std::vector<bool>& mask) {
+      double pos[2] = {0.0, 0.0};
+      size_t count[2] = {0, 0};
+      for (size_t i : rows) {
+        Vector z = background;
+        for (size_t c = 0; c < mask.size(); ++c)
+          if (mask[c]) z[c] = data.x().At(i, c);
+        const int g = data.group(i);
+        pos[g] += static_cast<double>(model.Predict(z));
+        ++count[g];
+      }
+      const double rate0 =
+          count[0] ? pos[0] / static_cast<double>(count[0]) : 0.0;
+      const double rate1 =
+          count[1] ? pos[1] / static_cast<double>(count[1]) : 0.0;
+      return rate0 - rate1;
+    };
+  }
+
+  FairnessShapReport report;
+  report.feature_names.reserve(d);
+  for (size_t c = 0; c < d; ++c)
+    report.feature_names.push_back(data.schema().feature(c).name);
+  if (d <= 10) {
+    report.contributions = ExactShapley(value, d);
+  } else {
+    report.contributions =
+        SampledShapley(value, d, options.permutations, &rng);
+  }
+  std::vector<bool> none(d, false), all(d, true);
+  report.baseline_gap = value(none);
+  report.full_gap = value(all);
+  report.ranked_features.resize(d);
+  for (size_t c = 0; c < d; ++c) report.ranked_features[c] = c;
+  std::sort(report.ranked_features.begin(), report.ranked_features.end(),
+            [&](size_t a, size_t b) {
+              return report.contributions[a] > report.contributions[b];
+            });
+  return report;
+}
+
+}  // namespace xfair

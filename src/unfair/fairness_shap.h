@@ -1,0 +1,58 @@
+// Fairness Shapley decomposition [81] (paper §IV-B): the Shapley engine of
+// src/explain/shap.h applied to a *fairness* value function — v(S) is the
+// model disparity attributable to the coalition S of features, so phi_i is
+// feature i's contribution to the parity gap rather than to accuracy.
+//
+// Two value functions are provided, mirroring the two practical regimes:
+//  - retraining (faithful but slow): v(S) = parity gap of a fresh logistic
+//    model trained on feature subset S;
+//  - masking (fast, model-agnostic): v(S) = parity gap of the fixed model
+//    with features outside S marginalized to group-agnostic background
+//    values.
+
+#ifndef XFAIR_UNFAIR_FAIRNESS_SHAP_H_
+#define XFAIR_UNFAIR_FAIRNESS_SHAP_H_
+
+#include <string>
+
+#include "src/explain/shap.h"
+
+namespace xfair {
+
+/// How coalitions are evaluated.
+enum class FairnessShapMode {
+  kRetrain,  ///< Train a logistic model per coalition.
+  kMask,     ///< Marginalize absent features on the fixed model.
+};
+
+/// Per-feature contributions to the statistical parity difference.
+struct FairnessShapReport {
+  std::vector<std::string> feature_names;
+  Vector contributions;  ///< Sum to (full-model gap) - (baseline gap).
+  double full_gap = 0.0;      ///< Parity gap with all features.
+  double baseline_gap = 0.0;  ///< Parity gap with no features.
+  std::vector<size_t> ranked_features;  ///< By descending contribution.
+};
+
+/// Options for ExplainParityWithShapley.
+struct FairnessShapOptions {
+  FairnessShapMode mode = FairnessShapMode::kMask;
+  /// Permutations for the sampled engine when num_features > 10.
+  size_t permutations = 60;
+  /// Background rows used by the masking mode (sampled from data).
+  size_t background_size = 30;
+  uint64_t seed = 17;
+};
+
+/// Decomposes the statistical parity difference of `model` on `data` into
+/// per-feature Shapley contributions. In kRetrain mode `model` is ignored
+/// (each coalition trains its own) and the decomposition explains the
+/// disparity of the model *family*; in kMask mode it explains the given
+/// model.
+FairnessShapReport ExplainParityWithShapley(
+    const Model& model, const Dataset& data,
+    const FairnessShapOptions& options);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UNFAIR_FAIRNESS_SHAP_H_

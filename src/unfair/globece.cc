@@ -1,0 +1,129 @@
+#include "src/unfair/globece.h"
+
+#include <cmath>
+
+#include "src/util/stats.h"
+
+namespace xfair {
+namespace {
+
+double FeatureRange(const FeatureSpec& spec) {
+  const double r = spec.upper - spec.lower;
+  if (r <= 0.0 || r > 1e29) return 1.0;
+  return r;
+}
+
+/// Applies x + scale * direction (direction lives in range-normalized
+/// space), then clamps to actionability and bounds.
+Vector Translate(const Schema& schema, const Vector& x,
+                 const Vector& direction, double scale,
+                 bool respect_actionability) {
+  Vector out = x;
+  for (size_t c = 0; c < x.size(); ++c) {
+    const FeatureSpec& spec = schema.feature(c);
+    double v = x[c] + scale * direction[c] * FeatureRange(spec);
+    if (respect_actionability) {
+      switch (spec.actionability) {
+        case Actionability::kImmutable:
+          v = x[c];
+          break;
+        case Actionability::kIncreaseOnly:
+          v = std::max(v, x[c]);
+          break;
+        case Actionability::kDecreaseOnly:
+          v = std::min(v, x[c]);
+          break;
+        case Actionability::kAny:
+          break;
+      }
+    }
+    v = std::min(std::max(v, spec.lower), spec.upper);
+    if (spec.kind == FeatureKind::kBinary) v = v >= 0.5 ? 1.0 : 0.0;
+    if (spec.kind == FeatureKind::kCategorical) {
+      v = std::min(std::max(std::round(v), 0.0),
+                   static_cast<double>(spec.arity - 1));
+    }
+    out[c] = v;
+  }
+  return out;
+}
+
+GlobalDirection FitForGroup(const Model& model, const Dataset& data,
+                            int group, const GlobeCeOptions& options,
+                            Rng* rng) {
+  GlobalDirection out;
+  const Schema& schema = data.schema();
+  const size_t d = data.num_features();
+
+  // Members of the group currently denied the favorable outcome.
+  std::vector<size_t> negatives;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.group(i) == group &&
+        model.Predict(data.instance(i)) == 0) {
+      negatives.push_back(i);
+    }
+  }
+  out.direction.assign(d, 0.0);
+  if (negatives.empty()) return out;
+
+  // Estimate the direction from sampled individual CF deltas
+  // (range-normalized so all features are commensurate).
+  const size_t sample_size =
+      std::min(options.direction_sample, negatives.size());
+  auto sample = rng->SampleWithoutReplacement(negatives.size(), sample_size);
+  size_t used = 0;
+  for (size_t s : sample) {
+    const size_t i = negatives[s];
+    const Vector x = data.instance(i);
+    auto r = GrowingSpheresCounterfactual(model, schema, x,
+                                          options.cf_config, rng);
+    if (!r.valid) continue;
+    for (size_t c = 0; c < d; ++c) {
+      out.direction[c] += (r.counterfactual[c] - x[c]) /
+                          FeatureRange(schema.feature(c));
+    }
+    ++used;
+  }
+  const double norm = Norm2(out.direction);
+  if (used == 0 || norm < 1e-12) {
+    out.direction.assign(d, 0.0);
+    return out;
+  }
+  for (double& v : out.direction) v /= norm;
+
+  // Minimal flipping scale per member along the shared direction.
+  const bool act = options.cf_config.respect_actionability;
+  for (size_t i : negatives) {
+    const Vector x = data.instance(i);
+    for (size_t step = 1; step <= options.scale_steps; ++step) {
+      const double scale = options.max_scale * static_cast<double>(step) /
+                           static_cast<double>(options.scale_steps);
+      const Vector moved = Translate(schema, x, out.direction, scale, act);
+      if (model.Predict(moved) == options.cf_config.target_class) {
+        out.min_scales.push_back(scale);
+        break;
+      }
+    }
+  }
+  out.coverage = static_cast<double>(out.min_scales.size()) /
+                 static_cast<double>(negatives.size());
+  out.mean_cost = Mean(out.min_scales);
+  return out;
+}
+
+}  // namespace
+
+GlobeCeReport FitGlobeCe(const Model& model, const Dataset& data,
+                         const GlobeCeOptions& options, Rng* rng) {
+  XFAIR_CHECK(rng != nullptr);
+  GlobeCeReport report;
+  report.protected_group = FitForGroup(model, data, 1, options, rng);
+  report.non_protected_group = FitForGroup(model, data, 0, options, rng);
+  report.cost_gap = report.protected_group.mean_cost -
+                    report.non_protected_group.mean_cost;
+  report.coverage_gap = report.non_protected_group.coverage -
+                        report.protected_group.coverage;
+  return report;
+}
+
+}  // namespace xfair

@@ -1,0 +1,125 @@
+#include "src/unfair/gopher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/explain/influence.h"
+#include "src/fairness/group_metrics.h"
+
+namespace xfair {
+namespace {
+
+using Conditions = std::vector<std::pair<size_t, size_t>>;
+
+bool Matches(const Discretizer& disc, const Dataset& data, size_t i,
+             const Conditions& conditions) {
+  for (const auto& [f, b] : conditions) {
+    if (disc.BinOf(f, data.x().At(i, f)) != b) return false;
+  }
+  return true;
+}
+
+std::string Describe(const Discretizer& disc, const Schema& schema,
+                     const Conditions& conditions) {
+  std::string out;
+  for (size_t k = 0; k < conditions.size(); ++k) {
+    if (k > 0) out += " AND ";
+    out += disc.BinLabel(schema, conditions[k].first, conditions[k].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<GopherReport> ExplainUnfairnessByPatterns(
+    const LogisticRegression& model, const Dataset& train,
+    const GopherOptions& options) {
+  GopherReport report;
+  report.original_gap = StatisticalParityDifference(model, train);
+
+  auto analyzer_result = InfluenceAnalyzer::Create(model, train);
+  if (!analyzer_result.ok()) return analyzer_result.status();
+  const InfluenceAnalyzer& analyzer = *analyzer_result;
+  // Per-instance first-order effect on the gap of removing the instance.
+  const Vector influence = analyzer.InfluenceOnParityGap(train);
+
+  Discretizer disc(train, options.bins);
+  const size_t n = train.size();
+  const size_t min_count = std::max<size_t>(
+      1, static_cast<size_t>(options.min_support * static_cast<double>(n)));
+  const size_t max_count = static_cast<size_t>(
+      options.max_support * static_cast<double>(n));
+
+  // Frequent patterns (apriori to max_conditions), scored by influence.
+  std::vector<Conditions> singles;
+  for (size_t f = 0; f < train.num_features(); ++f) {
+    for (size_t b = 0; b < disc.NumBins(f); ++b) {
+      singles.push_back({{f, b}});
+    }
+  }
+  std::vector<GopherPattern> scored;
+  std::vector<Conditions> current;
+  for (const auto& cand : singles) current.push_back(cand);
+  for (size_t depth = 1; depth <= options.max_conditions; ++depth) {
+    std::vector<Conditions> next;
+    for (const auto& cand : current) {
+      size_t support = 0;
+      double est = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!Matches(disc, train, i, cand)) continue;
+        ++support;
+        est += influence[i];
+      }
+      if (support < min_count) continue;
+      next.push_back(cand);  // Frequent: extendable at the next depth.
+      if (support > max_count) continue;
+      GopherPattern p;
+      p.conditions = cand;
+      p.description = Describe(disc, train.schema(), cand);
+      p.support = support;
+      p.estimated_gap_change = est;
+      p.interestingness =
+          std::fabs(est) / static_cast<double>(support);
+      scored.push_back(std::move(p));
+    }
+    if (depth == options.max_conditions) break;
+    // Extend frequent patterns by one canonical-order condition.
+    std::vector<Conditions> extended;
+    for (const auto& base : next) {
+      if (base.size() != depth) continue;
+      for (const auto& ext : singles) {
+        if (ext[0].first <= base.back().first) continue;
+        Conditions grown = base;
+        grown.push_back(ext[0]);
+        extended.push_back(std::move(grown));
+      }
+    }
+    current = std::move(extended);
+  }
+  report.patterns_examined = scored.size();
+
+  // Most gap-reducing removals first (most negative estimated change).
+  std::sort(scored.begin(), scored.end(),
+            [](const GopherPattern& a, const GopherPattern& b) {
+              return a.estimated_gap_change < b.estimated_gap_change;
+            });
+  if (scored.size() > options.top_k) scored.resize(options.top_k);
+
+  // Verify by actual retraining without the pattern's subset.
+  for (auto& p : scored) {
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < n; ++i)
+      if (!Matches(disc, train, i, p.conditions)) keep.push_back(i);
+    if (keep.size() < train.num_features() + 2) continue;
+    Dataset reduced = train.Subset(keep);
+    LogisticRegression retrained;
+    if (!retrained.Fit(reduced).ok()) continue;
+    p.verified_gap_change =
+        StatisticalParityDifference(retrained, train) - report.original_gap;
+    p.verified = true;
+  }
+  report.patterns = std::move(scored);
+  return report;
+}
+
+}  // namespace xfair

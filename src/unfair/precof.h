@@ -1,0 +1,52 @@
+// PreCoF [71] (paper §IV-A): understanding the causes of unfairness by
+// comparing which attributes counterfactuals change per group.
+//
+// Explicit bias: train *with* the sensitive attribute and let the CF
+// search touch it; if flipping the sensitive attribute alone earns the
+// favorable outcome, the model discriminates directly.
+// Implicit bias: train *without* the sensitive attribute; features whose
+// CF-change frequency differs most between groups are the proxies through
+// which bias flows.
+
+#ifndef XFAIR_UNFAIR_PRECOF_H_
+#define XFAIR_UNFAIR_PRECOF_H_
+
+#include <string>
+
+#include "src/explain/counterfactual.h"
+#include "src/model/logistic_regression.h"
+
+namespace xfair {
+
+/// Per-feature counterfactual change frequencies, split by group.
+struct PrecofReport {
+  std::vector<std::string> feature_names;
+  /// change_freq_*[c] = fraction of generated CFs (for negatives of that
+  /// group) that changed feature c.
+  Vector change_freq_protected;
+  Vector change_freq_non_protected;
+  /// |protected - non_protected| per feature: large = group-specific
+  /// recourse route, the PreCoF bias signal.
+  Vector frequency_gap;
+  /// Features ordered by descending frequency_gap.
+  std::vector<size_t> ranked_features;
+  size_t counterfactuals_protected = 0;
+  size_t counterfactuals_non_protected = 0;
+};
+
+/// Explicit-bias probe: the model must have been trained on data that
+/// includes the sensitive column; CF search is run *without* actionability
+/// constraints so the sensitive attribute may flip. The report's
+/// change frequency of the sensitive column measures direct discrimination.
+PrecofReport PrecofExplicitBias(const Model& model, const Dataset& data,
+                                Rng* rng);
+
+/// Implicit-bias probe [71]: drops the sensitive column, trains a fresh
+/// logistic model on the remainder, generates actionable CFs for each
+/// group's negatives, and reports per-group change frequencies — the
+/// proxies through which bias operates.
+PrecofReport PrecofImplicitBias(const Dataset& data, Rng* rng);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UNFAIR_PRECOF_H_

@@ -1,0 +1,39 @@
+// Precondition checks for programmer errors.
+//
+// XFAIR_CHECK aborts with a message on violation; it is always on (not
+// compiled out in release builds) because the library's correctness
+// guarantees depend on these invariants. Recoverable errors use Status.
+
+#ifndef XFAIR_UTIL_CHECK_H_
+#define XFAIR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xfair::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const char* msg) {
+  std::fprintf(stderr, "XFAIR_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace xfair::internal
+
+/// Aborts if `cond` is false. Use for preconditions whose violation is a
+/// bug in the caller, never for data-dependent failures.
+#define XFAIR_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::xfair::internal::CheckFail(__FILE__, __LINE__, #cond, "");     \
+  } while (0)
+
+/// XFAIR_CHECK with an explanatory message (a string literal).
+#define XFAIR_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::xfair::internal::CheckFail(__FILE__, __LINE__, #cond, msg);    \
+  } while (0)
+
+#endif  // XFAIR_UTIL_CHECK_H_

@@ -1,0 +1,191 @@
+#include "src/util/matrix.h"
+
+#include <cmath>
+
+namespace xfair {
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    XFAIR_CHECK_MSG(rows[r].size() == m.cols_, "ragged rows");
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  XFAIR_CHECK(r < rows_);
+  return Vector(data_.begin() + static_cast<long>(r * cols_),
+                data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+Vector Matrix::Col(size_t c) const {
+  XFAIR_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  XFAIR_CHECK(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = v[c];
+}
+
+Vector Matrix::MatVec(const Vector& v) const {
+  XFAIR_CHECK(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMatVec(const Vector& v) const {
+  XFAIR_CHECK(v.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double vr = v[r];
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  XFAIR_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = At(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  return out;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  XFAIR_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double Norm1(const Vector& a) {
+  double acc = 0.0;
+  for (double x : a) acc += std::fabs(x);
+  return acc;
+}
+
+size_t NonZeroCount(const Vector& a, double tol) {
+  size_t n = 0;
+  for (double x : a)
+    if (std::fabs(x) > tol) ++n;
+  return n;
+}
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  XFAIR_CHECK(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  XFAIR_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  XFAIR_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Scale(double alpha, const Vector& a) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i];
+  return out;
+}
+
+Result<Vector> SolveLinearSystem(Matrix a, Vector b) {
+  XFAIR_CHECK(a.rows() == a.cols());
+  XFAIR_CHECK(b.size() == a.rows());
+  const size_t n = a.rows();
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.At(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular matrix in solve");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c)
+        std::swap(a.At(col, c), a.At(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double d = a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double f = a.At(r, col) / d;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.At(r, c) -= f * a.At(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  Vector x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= a.At(ri, c) * x[c];
+    x[ri] = acc / a.At(ri, ri);
+  }
+  return x;
+}
+
+Result<Matrix> Invert(const Matrix& a) {
+  XFAIR_CHECK(a.rows() == a.cols());
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    Vector e(n, 0.0);
+    e[c] = 1.0;
+    Result<Vector> col = SolveLinearSystem(a, std::move(e));
+    if (!col.ok()) return col.status();
+    for (size_t r = 0; r < n; ++r) inv.At(r, c) = (*col)[r];
+  }
+  return inv;
+}
+
+}  // namespace xfair

@@ -1,0 +1,105 @@
+// Dense linear algebra used throughout xfair.
+//
+// The library deliberately ships its own small dense kernel instead of
+// depending on BLAS/Eigen: every model and explainer here operates on
+// tens-to-hundreds of features, where a simple row-major kernel is fast
+// enough and keeps the build dependency-free.
+
+#ifndef XFAIR_UTIL_MATRIX_H_
+#define XFAIR_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/status.h"
+
+namespace xfair {
+
+/// Dense column of doubles; the library's basic numeric vector type.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Builds from nested initializer-style rows; all rows must be equal
+  /// length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) {
+    XFAIR_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    XFAIR_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() entries).
+  const double* RowPtr(size_t r) const {
+    XFAIR_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  double* RowPtr(size_t r) {
+    XFAIR_CHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Copy of row r as a Vector.
+  Vector Row(size_t r) const;
+  /// Copy of column c as a Vector.
+  Vector Col(size_t c) const;
+  /// Overwrites row r with `v` (v.size() must equal cols()).
+  void SetRow(size_t r, const Vector& v);
+
+  /// this * v. Requires v.size() == cols().
+  Vector MatVec(const Vector& v) const;
+  /// this^T * v. Requires v.size() == rows().
+  Vector TransposeMatVec(const Vector& v) const;
+  /// this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product. Requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+/// Euclidean (L2) norm.
+double Norm2(const Vector& a);
+/// L1 norm.
+double Norm1(const Vector& a);
+/// Count of entries with |a_i| > tol (sparsity of a change vector).
+size_t NonZeroCount(const Vector& a, double tol = 1e-12);
+/// y += alpha * x. Requires equal sizes.
+void Axpy(double alpha, const Vector& x, Vector* y);
+/// Elementwise a - b.
+Vector Sub(const Vector& a, const Vector& b);
+/// Elementwise a + b.
+Vector Add(const Vector& a, const Vector& b);
+/// alpha * a.
+Vector Scale(double alpha, const Vector& a);
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns kFailedPrecondition if A is (numerically) singular.
+Result<Vector> SolveLinearSystem(Matrix a, Vector b);
+
+/// Inverse of A via column-wise solves. Returns kFailedPrecondition if
+/// singular. Intended for small systems (influence functions, SCM fitting).
+Result<Matrix> Invert(const Matrix& a);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UTIL_MATRIX_H_

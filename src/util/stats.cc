@@ -1,0 +1,114 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace xfair {
+
+double Mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double Variance(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double Stddev(const Vector& v) { return std::sqrt(Variance(v)); }
+
+double Quantile(Vector v, double q) {
+  XFAIR_CHECK(!v.empty());
+  XFAIR_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(Vector v) { return Quantile(std::move(v), 0.5); }
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  XFAIR_CHECK(a.size() == b.size() && !a.empty());
+  const double ma = Mean(a), mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double LogGamma(double x) {
+  XFAIR_CHECK(x > 0.0);
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(std::numbers::pi / std::sin(std::numbers::pi * x)) -
+           LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * std::numbers::pi) + (x + 0.5) * std::log(t) -
+         t + std::log(a);
+}
+
+double LogChoose(uint64_t n, uint64_t k) {
+  XFAIR_CHECK(k <= n);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialTailProb(uint64_t n, uint64_t k, double p) {
+  XFAIR_CHECK(p >= 0.0 && p <= 1.0);
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double tail = 0.0;
+  const double lp = std::log(p), lq = std::log1p(-p);
+  for (uint64_t i = k; i <= n; ++i) {
+    const double lterm = LogChoose(n, i) + static_cast<double>(i) * lp +
+                         static_cast<double>(n - i) * lq;
+    tail += std::exp(lterm);
+  }
+  return std::min(tail, 1.0);
+}
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace xfair

@@ -1,0 +1,64 @@
+// Descriptive statistics and the few special functions xfair needs
+// (normal CDF, log-gamma, binomial tails for probability-based ranking
+// fairness tests).
+
+#ifndef XFAIR_UTIL_STATS_H_
+#define XFAIR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/matrix.h"
+
+namespace xfair {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const Vector& v);
+
+/// Unbiased sample variance; 0 for fewer than two elements.
+double Variance(const Vector& v);
+
+/// Sample standard deviation.
+double Stddev(const Vector& v);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+double Quantile(Vector v, double q);
+
+/// Median (Quantile at 0.5). Requires non-empty input.
+double Median(Vector v);
+
+/// Pearson correlation; 0 if either side is constant. Requires equal,
+/// non-empty sizes.
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// log(Gamma(x)) for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+/// log(n choose k); requires k <= n.
+double LogChoose(uint64_t n, uint64_t k);
+
+/// P(X >= k) for X ~ Binomial(n, p). Exact summation in log space.
+double BinomialTailProb(uint64_t n, uint64_t k, double p);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_UTIL_STATS_H_

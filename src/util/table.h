@@ -1,0 +1,40 @@
+// Plain-text table rendering.
+//
+// The bench harness regenerates the paper's Table I and taxonomy figures as
+// aligned ASCII tables; this is the shared renderer.
+
+#ifndef XFAIR_UTIL_TABLE_H_
+#define XFAIR_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace xfair {
+
+/// Column-aligned ASCII table with a header row and separator.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders with single-space-padded `|` separators, e.g.
+  ///   | name  | value |
+  ///   |-------|-------|
+  ///   | alpha | 1.0   |
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places after the point.
+std::string FormatDouble(double v, int digits = 3);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UTIL_TABLE_H_

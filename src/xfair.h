@@ -1,0 +1,104 @@
+// Umbrella header: pulls in the whole public xfair API. Prefer the
+// per-module headers in translation units that care about compile time;
+// this exists for examples, notebooks-style experimentation, and
+// downstream quick starts.
+
+#ifndef XFAIR_XFAIR_H_
+#define XFAIR_XFAIR_H_
+
+// Utilities.
+#include "src/util/check.h"
+#include "src/util/matrix.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/table.h"
+
+// Data.
+#include "src/data/csv.h"
+#include "src/data/dataset.h"
+#include "src/data/generators.h"
+#include "src/data/scaler.h"
+#include "src/data/schema.h"
+
+// Models.
+#include "src/model/calibration.h"
+#include "src/model/decision_tree.h"
+#include "src/model/gbm.h"
+#include "src/model/knn.h"
+#include "src/model/logistic_regression.h"
+#include "src/model/metrics.h"
+#include "src/model/model.h"
+#include "src/model/random_forest.h"
+#include "src/model/softmax_regression.h"
+
+// Causal substrate.
+#include "src/causal/dag.h"
+#include "src/causal/scm.h"
+#include "src/causal/worlds.h"
+
+// Graph substrate.
+#include "src/graph/graph.h"
+#include "src/graph/sbm.h"
+#include "src/graph/sgc.h"
+
+// Recommendation substrate.
+#include "src/rec/interactions.h"
+#include "src/rec/knowledge_graph.h"
+#include "src/rec/mf.h"
+#include "src/rec/recwalk.h"
+
+// Fairness metrics.
+#include "src/fairness/drift.h"
+#include "src/fairness/group_metrics.h"
+#include "src/fairness/individual_metrics.h"
+#include "src/fairness/ranking_metrics.h"
+#include "src/fairness/tradeoff.h"
+
+// XAI substrate.
+#include "src/explain/counterfactual.h"
+#include "src/explain/diverse.h"
+#include "src/explain/importance.h"
+#include "src/explain/influence.h"
+#include "src/explain/prototypes.h"
+#include "src/explain/rules.h"
+#include "src/explain/shap.h"
+#include "src/explain/surrogate.h"
+
+// Explaining unfairness (the paper's core).
+#include "src/unfair/actions.h"
+#include "src/unfair/ares.h"
+#include "src/unfair/burden.h"
+#include "src/unfair/causal_path.h"
+#include "src/unfair/cet.h"
+#include "src/unfair/contrastive.h"
+#include "src/unfair/explanation_quality.h"
+#include "src/unfair/facts.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/unfair/globece.h"
+#include "src/unfair/gopher.h"
+#include "src/unfair/precof.h"
+#include "src/unfair/recourse.h"
+
+// Mitigation.
+#include "src/mitigate/counterfactual_fair.h"
+#include "src/mitigate/inprocess.h"
+#include "src/mitigate/postprocess.h"
+#include "src/mitigate/preprocess.h"
+
+// Beyond classification.
+#include "src/beyond/cef.h"
+#include "src/beyond/cfairer.h"
+#include "src/beyond/dexer.h"
+#include "src/beyond/fair_topk.h"
+#include "src/beyond/gnnuers.h"
+#include "src/beyond/kg_rerank.h"
+#include "src/beyond/node_influence.h"
+#include "src/beyond/rec_edge_explain.h"
+#include "src/beyond/structural_bias.h"
+
+// Taxonomy + registry.
+#include "src/core/registry.h"
+#include "src/core/taxonomy.h"
+
+#endif  // XFAIR_XFAIR_H_

@@ -1,0 +1,81 @@
+// Tests for src/core: taxonomy string rendering and the approach registry
+// (Table I coverage + every runner executes and produces a measurement).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/registry.h"
+
+namespace xfair {
+namespace {
+
+TEST(Taxonomy, GoalsToString) {
+  EXPECT_EQ((Goals{true, false, false}).ToString(), "E");
+  EXPECT_EQ((Goals{true, true, true}).ToString(), "E, U, M");
+  EXPECT_EQ((Goals{false, false, false}).ToString(), "-");
+  EXPECT_EQ((Goals{false, true, true}).ToString(), "U, M");
+}
+
+TEST(Taxonomy, EnumStrings) {
+  EXPECT_STREQ(ToString(ExplanationStage::kPostHoc), "Post");
+  EXPECT_STREQ(ToString(ModelAccess::kBlackBox), "B");
+  EXPECT_STREQ(ToString(Agnosticism::kAgnostic), "A");
+  EXPECT_STREQ(ToString(Coverage::kBoth), "Both");
+  EXPECT_STREQ(ToString(FairnessLevel::kGroup), "Group");
+  EXPECT_STREQ(ToString(FairnessTask::kRecommendation), "Recs");
+  EXPECT_STREQ(ToString(MitigationStage::kIn), "In-processing");
+  EXPECT_STREQ(ToString(FairnessCriterion::kCausal), "Causal");
+}
+
+TEST(Registry, CoversAllTableOneRows) {
+  // The paper's Table I rows, by citation key.
+  const std::set<std::string> expected = {
+      "[10]", "[63]", "[71]", "[72]", "[73]", "[74]", "[75]",
+      "[77]", "[82]", "[79]", "[80]", "[89]", "[81]", "[84]",
+      "[86]", "[87]", "[88]", "[90]", "[83]", "[91]", "[44]"};
+  std::set<std::string> found;
+  for (const auto& a : ApproachRegistry()) {
+    if (a.in_table1) found.insert(a.citation);
+  }
+  EXPECT_EQ(found, expected);
+}
+
+TEST(Registry, ExtrasAreMarked) {
+  size_t extras = 0;
+  for (const auto& a : ApproachRegistry()) extras += !a.in_table1;
+  EXPECT_GE(extras, 2u);  // [65] and [76] at minimum.
+}
+
+TEST(Registry, DescriptorsAreWellFormed) {
+  for (const auto& a : ApproachRegistry()) {
+    EXPECT_FALSE(a.citation.empty());
+    EXPECT_FALSE(a.name.empty());
+    EXPECT_FALSE(a.explanation_type.empty()) << a.citation;
+    EXPECT_FALSE(a.output.empty()) << a.citation;
+    EXPECT_FALSE(a.fairness_type.empty()) << a.citation;
+    EXPECT_NE(a.goals.ToString(), "-") << a.citation;
+    EXPECT_TRUE(a.runner != nullptr) << a.citation;
+  }
+}
+
+TEST(Registry, EveryRunnerProducesMeasurement) {
+  // One shared fixture; every approach must execute end-to-end.
+  const RunContext ctx = RunContext::Make(2024);
+  for (const auto& a : ApproachRegistry()) {
+    const std::string measured = a.runner(ctx);
+    EXPECT_FALSE(measured.empty()) << a.citation;
+    EXPECT_NE(measured, "n/a") << a.citation << " " << a.name;
+  }
+}
+
+TEST(Registry, RunnersAreDeterministicForSameSeed) {
+  const RunContext a = RunContext::Make(7);
+  const RunContext b = RunContext::Make(7);
+  for (const auto& approach : ApproachRegistry()) {
+    EXPECT_EQ(approach.runner(a), approach.runner(b)) << approach.citation;
+  }
+}
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,270 @@
+// Tests for src/data: schema semantics, dataset operations, scaling,
+// generators' planted bias, CSV round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/data/csv.h"
+#include "src/data/generators.h"
+#include "src/data/scaler.h"
+#include "src/util/stats.h"
+
+namespace xfair {
+namespace {
+
+Schema TinySchema() {
+  std::vector<FeatureSpec> f;
+  f.push_back({"s", FeatureKind::kBinary, 0, Actionability::kImmutable, 0, 1});
+  f.push_back({"a", FeatureKind::kNumeric, 0, Actionability::kIncreaseOnly,
+               -10, 10});
+  f.push_back({"b", FeatureKind::kNumeric, 0, Actionability::kDecreaseOnly,
+               -10, 10});
+  return Schema(std::move(f), 0);
+}
+
+Dataset TinyData() {
+  Matrix x = Matrix::FromRows({{1, 0.5, 2.0},
+                               {0, 1.5, -1.0},
+                               {1, -0.5, 0.0},
+                               {0, 2.5, 1.0}});
+  return Dataset(TinySchema(), std::move(x), {1, 0, 0, 1}, {1, 0, 1, 0});
+}
+
+TEST(Schema, IndexOfFindsAndFails) {
+  Schema s = TinySchema();
+  auto idx = s.IndexOf("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_FALSE(s.IndexOf("nope").ok());
+}
+
+TEST(Schema, MoveAllowedRespectsActionability) {
+  Schema s = TinySchema();
+  EXPECT_FALSE(s.MoveAllowed(0, 1.0));   // immutable
+  EXPECT_TRUE(s.MoveAllowed(0, 0.0));    // no-op always allowed
+  EXPECT_TRUE(s.MoveAllowed(1, 1.0));    // increase-only up
+  EXPECT_FALSE(s.MoveAllowed(1, -1.0));  // increase-only down
+  EXPECT_TRUE(s.MoveAllowed(2, -1.0));
+  EXPECT_FALSE(s.MoveAllowed(2, 1.0));
+}
+
+TEST(Schema, WithoutFeatureRemapsSensitiveIndex) {
+  Schema s = TinySchema();
+  Schema dropped = s.WithoutFeature(0);
+  EXPECT_EQ(dropped.num_features(), 2u);
+  EXPECT_EQ(dropped.sensitive_index(), -1);
+  Schema dropped_b = s.WithoutFeature(2);
+  EXPECT_EQ(dropped_b.sensitive_index(), 0);
+  Schema mid = Schema(
+      {FeatureSpec{"x"}, FeatureSpec{"s", FeatureKind::kBinary},
+       FeatureSpec{"y"}},
+      1);
+  EXPECT_EQ(mid.WithoutFeature(0).sensitive_index(), 0);
+}
+
+TEST(Dataset, BasicAccessors) {
+  Dataset d = TinyData();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.label(0), 1);
+  EXPECT_EQ(d.group(1), 0);
+  EXPECT_EQ(d.instance(2), Vector({1, -0.5, 0.0}));
+}
+
+TEST(Dataset, GroupIndicesAndBaseRate) {
+  Dataset d = TinyData();
+  EXPECT_EQ(d.GroupIndices(1), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(d.GroupIndices(0), (std::vector<size_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(d.BaseRate(1), 0.5);  // labels 1, 0
+  EXPECT_DOUBLE_EQ(d.BaseRate(0), 0.5);  // labels 0, 1
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  Dataset d = TinyData();
+  Dataset s = d.Subset({3, 0});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.instance(0), d.instance(3));
+  EXPECT_EQ(s.label(1), d.label(0));
+  EXPECT_EQ(s.group(0), d.group(3));
+}
+
+TEST(Dataset, WithoutFeatureDropsColumn) {
+  Dataset d = TinyData();
+  Dataset w = d.WithoutFeature(1);
+  EXPECT_EQ(w.num_features(), 2u);
+  EXPECT_EQ(w.instance(0), Vector({1, 2.0}));
+  // Group membership survives dropping any column.
+  EXPECT_EQ(w.groups(), d.groups());
+}
+
+TEST(Dataset, SplitPartitionsAllRows) {
+  CreditGen gen;
+  Dataset d = gen.Generate(200, 42);
+  Rng rng(1);
+  auto [train, test] = d.Split(0.75, &rng);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+  EXPECT_NEAR(static_cast<double>(train.size()), 150.0, 1.0);
+}
+
+TEST(Scaler, TransformStandardizesNumericOnly) {
+  CreditGen gen;
+  Dataset d = gen.Generate(500, 7);
+  StandardScaler scaler;
+  scaler.Fit(d);
+  Dataset t = scaler.Transform(d);
+  // Numeric column "income" (index 2) becomes ~N(0,1).
+  Vector col = t.x().Col(2);
+  EXPECT_NEAR(Mean(col), 0.0, 1e-9);
+  EXPECT_NEAR(Stddev(col), 1.0, 1e-9);
+  // Binary sensitive column (index 0) is untouched.
+  EXPECT_EQ(t.x().Col(0), d.x().Col(0));
+}
+
+TEST(Scaler, InverseRoundTrip) {
+  CreditGen gen;
+  Dataset d = gen.Generate(100, 3);
+  StandardScaler scaler;
+  scaler.Fit(d);
+  Vector x = d.instance(17);
+  Vector back = scaler.InverseInstance(scaler.TransformInstance(x));
+  for (size_t c = 0; c < x.size(); ++c) EXPECT_NEAR(back[c], x[c], 1e-9);
+}
+
+// --- generator properties, parameterized over the three generators ---
+
+using GenFn = Dataset (*)(const BiasConfig&, size_t, uint64_t);
+
+Dataset MakeCredit(const BiasConfig& c, size_t n, uint64_t s) {
+  return CreditGen(c).Generate(n, s);
+}
+Dataset MakeRecidivism(const BiasConfig& c, size_t n, uint64_t s) {
+  return RecidivismGen(c).Generate(n, s);
+}
+Dataset MakeIncome(const BiasConfig& c, size_t n, uint64_t s) {
+  return IncomeGen(c).Generate(n, s);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<GenFn> {};
+
+TEST_P(GeneratorTest, DeterministicForSeed) {
+  BiasConfig cfg;
+  Dataset a = GetParam()(cfg, 50, 99);
+  Dataset b = GetParam()(cfg, 50, 99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.instance(i), b.instance(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_EQ(a.group(i), b.group(i));
+  }
+}
+
+TEST_P(GeneratorTest, RespectsBounds) {
+  BiasConfig cfg;
+  Dataset d = GetParam()(cfg, 400, 5);
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t c = 0; c < d.num_features(); ++c) {
+      const auto& spec = d.schema().feature(c);
+      EXPECT_GE(d.x().At(i, c), spec.lower) << spec.name;
+      EXPECT_LE(d.x().At(i, c), spec.upper) << spec.name;
+    }
+  }
+}
+
+TEST_P(GeneratorTest, PlantedBiasCreatesBaseRateGap) {
+  BiasConfig biased;
+  biased.score_shift = 1.2;
+  biased.label_bias = 0.15;
+  Dataset d = GetParam()(biased, 4000, 11);
+  EXPECT_GT(d.BaseRate(0) - d.BaseRate(1), 0.1);
+}
+
+TEST_P(GeneratorTest, UnbiasedConfigHasSmallGap) {
+  BiasConfig fair;
+  fair.score_shift = 0.0;
+  fair.label_bias = 0.0;
+  fair.proxy_strength = 0.0;
+  fair.qualification_gap = 0.0;
+  Dataset d = GetParam()(fair, 6000, 13);
+  EXPECT_LT(std::abs(d.BaseRate(0) - d.BaseRate(1)), 0.06);
+}
+
+TEST_P(GeneratorTest, ProtectedFractionMatches) {
+  BiasConfig cfg;
+  cfg.protected_fraction = 0.25;
+  Dataset d = GetParam()(cfg, 4000, 17);
+  EXPECT_NEAR(static_cast<double>(d.GroupIndices(1).size()) /
+                  static_cast<double>(d.size()),
+              0.25, 0.03);
+}
+
+TEST_P(GeneratorTest, SensitiveColumnMatchesGroups) {
+  BiasConfig cfg;
+  Dataset d = GetParam()(cfg, 200, 19);
+  const int s = d.schema().sensitive_index();
+  ASSERT_GE(s, 0);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(d.x().At(i, static_cast<size_t>(s))),
+              d.group(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorTest,
+                         ::testing::Values(&MakeCredit, &MakeRecidivism,
+                                           &MakeIncome));
+
+TEST(Generators, ProxyCorrelatesWithGroup) {
+  BiasConfig cfg;
+  cfg.proxy_strength = 0.9;
+  Dataset d = CreditGen(cfg).Generate(2000, 23);
+  Vector zip = d.x().Col(7);
+  Vector grp(d.size());
+  for (size_t i = 0; i < d.size(); ++i) grp[i] = d.group(i);
+  EXPECT_GT(PearsonCorrelation(zip, grp), 0.6);
+
+  cfg.proxy_strength = 0.0;
+  Dataset d0 = CreditGen(cfg).Generate(2000, 23);
+  Vector zip0 = d0.x().Col(7);
+  Vector grp0(d0.size());
+  for (size_t i = 0; i < d0.size(); ++i) grp0[i] = d0.group(i);
+  EXPECT_LT(std::abs(PearsonCorrelation(zip0, grp0)), 0.1);
+}
+
+TEST(Csv, RoundTrip) {
+  CreditGen gen;
+  Dataset d = gen.Generate(60, 31);
+  const std::string path = "/tmp/xfair_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  auto r = ReadCsv(d.schema(), path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(r->label(i), d.label(i));
+    EXPECT_EQ(r->group(i), d.group(i));
+    for (size_t c = 0; c < d.num_features(); ++c)
+      EXPECT_NEAR(r->x().At(i, c), d.x().At(i, c), 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileFails) {
+  auto r = ReadCsv(TinySchema(), "/tmp/definitely_not_here_xfair.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Csv, MalformedRowFails) {
+  const std::string path = "/tmp/xfair_csv_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("s,a,b,label,group\n1,2,notanumber,1,0\n", f);
+    fclose(f);
+  }
+  auto r = ReadCsv(TinySchema(), path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,129 @@
+// Tests for FA*IR-style probability-based fair top-k (src/beyond/
+// fair_topk): m-table correctness, constraint satisfaction, minimality of
+// intervention, and the link back to FairPrefixPValue.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/beyond/fair_topk.h"
+#include "src/fairness/ranking_metrics.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace xfair {
+namespace {
+
+TEST(FairPrefixTargets, MonotoneAndBounded) {
+  const auto targets = FairPrefixTargets(30, 0.4, 0.1);
+  ASSERT_EQ(targets.size(), 30u);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_LE(targets[i], i + 1);
+    if (i > 0) {
+      EXPECT_GE(targets[i], targets[i - 1]);
+    }
+  }
+  // Roughly tracks p * prefix minus slack.
+  EXPECT_GT(targets.back(), 5u);
+  EXPECT_LT(targets.back(), 13u);
+}
+
+TEST(FairPrefixTargets, ZeroWhenProportionZero) {
+  for (size_t t : FairPrefixTargets(10, 0.0, 0.1)) EXPECT_EQ(t, 0u);
+}
+
+TEST(FairPrefixTargets, TargetIsStatisticallyJustified) {
+  // The target m is the smallest count with P(X <= m) > alpha: observing
+  // m - 1 or fewer protected items must be alpha-surprising, and m itself
+  // must not be.
+  const double p = 0.5, alpha = 0.1;
+  const auto targets = FairPrefixTargets(20, p, alpha);
+  for (size_t prefix = 1; prefix <= 20; ++prefix) {
+    const size_t m = targets[prefix - 1];
+    // P(X <= m) = 1 - P(X >= m + 1) must exceed alpha.
+    const double at_m = 1.0 - BinomialTailProb(prefix, m + 1, p);
+    EXPECT_GT(at_m, alpha - 1e-9) << "prefix " << prefix;
+    if (m > 0) {
+      // P(X <= m - 1) must be <= alpha (otherwise m is not minimal).
+      const double below = 1.0 - BinomialTailProb(prefix, m, p);
+      EXPECT_LE(below, alpha + 1e-9) << "prefix " << prefix;
+    }
+  }
+}
+
+TEST(FairTopK, SatisfiesConstraintOnBiasedScores) {
+  // Protected items systematically scored lower: the plain top-k would
+  // exclude them; the fair top-k must hit every prefix target.
+  Rng rng(1);
+  const size_t n = 60;
+  std::vector<double> scores(n);
+  std::vector<int> flags(n);
+  for (size_t i = 0; i < n; ++i) {
+    flags[i] = i % 2;  // Half protected.
+    scores[i] = rng.Uniform(0, 1) - 0.4 * flags[i];
+  }
+  auto result = BuildFairTopK(scores, flags, 20, 0.5, 0.1);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.ranking.size(), 20u);
+  const auto targets = FairPrefixTargets(20, 0.5, 0.1);
+  size_t seen = 0;
+  for (size_t r = 0; r < 20; ++r) {
+    seen += static_cast<size_t>(flags[result.ranking[r]] == 1);
+    EXPECT_GE(seen, targets[r]) << "prefix " << r + 1;
+  }
+  EXPECT_GT(result.swaps, 0u) << "biased scores require interventions";
+  // The constructed ranking passes the probability-based fairness test
+  // it was built from.
+  EXPECT_GT(FairPrefixPValue(result.ranking, flags), 0.05);
+}
+
+TEST(FairTopK, NoSwapsWhenScoresAlreadyFair) {
+  // Scores independent of group: plain merge should rarely need
+  // promotions, and the result is score-sorted.
+  Rng rng(2);
+  const size_t n = 40;
+  std::vector<double> scores(n);
+  std::vector<int> flags(n);
+  for (size_t i = 0; i < n; ++i) {
+    flags[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    scores[i] = rng.Uniform(0, 1);
+  }
+  auto fair = BuildFairTopK(scores, flags, 10, 0.5, 0.1);
+  EXPECT_TRUE(fair.feasible);
+  // Compare against the unconstrained top-k.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  size_t agreements = 0;
+  for (size_t r = 0; r < 10; ++r) {
+    agreements += static_cast<size_t>(fair.ranking[r] == order[r]);
+  }
+  EXPECT_GE(agreements, 8u)
+      << "fair top-k should barely differ when scores are unbiased";
+}
+
+TEST(FairTopK, InfeasibleWhenSupplyExhausted) {
+  // Only one protected item but targets demand several.
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+  std::vector<int> flags = {0, 0, 0, 1, 0, 0, 0, 0};
+  auto result = BuildFairTopK(scores, flags, 8, 0.5, 0.1);
+  EXPECT_FALSE(result.feasible);
+  // Still returns a complete ranking with the protected item promoted as
+  // far as the table demanded.
+  EXPECT_EQ(result.ranking.size(), 8u);
+}
+
+TEST(FairTopK, DegenerateInputs) {
+  auto empty = BuildFairTopK({}, {}, 5, 0.5, 0.1);
+  EXPECT_TRUE(empty.feasible);
+  EXPECT_TRUE(empty.ranking.empty());
+  auto zero_k = BuildFairTopK({1.0}, {1}, 0, 0.5, 0.1);
+  EXPECT_TRUE(zero_k.feasible);
+  EXPECT_TRUE(zero_k.ranking.empty());
+}
+
+}  // namespace
+}  // namespace xfair

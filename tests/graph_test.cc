@@ -1,0 +1,213 @@
+// Tests for src/graph (graph ops, propagation, SBM, SGC) and the graph
+// explainers in src/beyond (structural bias edge sets, node influence).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/beyond/node_influence.h"
+#include "src/beyond/structural_bias.h"
+#include "src/graph/sbm.h"
+#include "src/graph/sgc.h"
+
+namespace xfair {
+namespace {
+
+TEST(Graph, EdgeOperations) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 1);  // Idempotent.
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.Degree(1), 2u);
+  g.RemoveEdge(0, 1);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  g.RemoveEdge(0, 3);  // Absent edge: no-op.
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, PropagationPreservesConstantVector) {
+  // The symmetric-normalized operator with self-loops has (sqrt(d+1))_u
+  // as an eigenvector; for a regular graph a constant feature stays
+  // constant.
+  Graph g(4);
+  // 4-cycle: every node has degree 2.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  Matrix features(4, 1, 1.0);
+  Matrix h = PropagateFeatures(g, features, 3);
+  for (size_t u = 0; u < 4; ++u) EXPECT_NEAR(h.At(u, 0), 1.0, 1e-12);
+}
+
+TEST(Graph, PropagationMixesNeighborhoods) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  Matrix features(3, 1);
+  features.At(0, 0) = 1.0;
+  Matrix h = PropagateFeatures(g, features, 1);
+  EXPECT_GT(h.At(1, 0), 0.0);          // Neighbor received mass.
+  EXPECT_DOUBLE_EQ(h.At(2, 0), 0.0);   // Isolated node did not.
+}
+
+TEST(Sbm, HomophilyControlsMixing) {
+  SbmConfig homophilous;
+  homophilous.p_intra = 0.15;
+  homophilous.p_inter = 0.01;
+  GraphData biased = GenerateSbm(homophilous, 1);
+  SbmConfig mixed = homophilous;
+  mixed.p_inter = 0.15;
+  GraphData unbiased = GenerateSbm(mixed, 1);
+
+  auto cross_fraction = [](const GraphData& d) {
+    size_t cross = 0;
+    for (const auto& [u, v] : d.graph.Edges())
+      cross += static_cast<size_t>(d.groups[u] != d.groups[v]);
+    return static_cast<double>(cross) /
+           static_cast<double>(std::max<size_t>(1, d.graph.num_edges()));
+  };
+  EXPECT_LT(cross_fraction(biased), 0.2);
+  EXPECT_GT(cross_fraction(unbiased), 0.35);
+}
+
+TEST(Sbm, LabelShiftCreatesGroupGap) {
+  SbmConfig cfg;
+  cfg.num_nodes = 2000;
+  cfg.label_shift = 1.0;
+  GraphData d = GenerateSbm(cfg, 2);
+  double rate[2] = {0, 0};
+  size_t count[2] = {0, 0};
+  for (size_t u = 0; u < d.labels.size(); ++u) {
+    rate[d.groups[u]] += d.labels[u];
+    ++count[d.groups[u]];
+  }
+  EXPECT_GT(rate[0] / count[0] - rate[1] / count[1], 0.1);
+}
+
+TEST(Sgc, FitsAndPredictsBetterThanChance) {
+  SbmConfig cfg;
+  cfg.num_nodes = 400;
+  GraphData d = GenerateSbm(cfg, 3);
+  SgcModel model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const auto preds = model.PredictAll();
+  size_t correct = 0;
+  for (size_t u = 0; u < preds.size(); ++u)
+    correct += static_cast<size_t>(preds[u] == d.labels[u]);
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.6);
+}
+
+TEST(Sgc, HomophilyAmplifiesParityGap) {
+  // With homophily, propagation concentrates group signal: the SGC's
+  // parity gap should exceed (or at least match) the no-graph logistic
+  // baseline trained on raw features.
+  SbmConfig cfg;
+  cfg.num_nodes = 600;
+  cfg.p_intra = 0.12;
+  cfg.p_inter = 0.005;
+  cfg.label_shift = 1.0;
+  cfg.feature_signal = 0.6;
+  GraphData d = GenerateSbm(cfg, 4);
+  SgcModel with_graph;
+  ASSERT_TRUE(with_graph.Fit(d).ok());
+  // Featureless graph: same data, zero hops == plain logistic.
+  SgcOptions no_hops;
+  no_hops.hops = 0;
+  SgcModel without_graph;
+  ASSERT_TRUE(without_graph.Fit(d, no_hops).ok());
+  const double gap_graph = SgcParityGap(with_graph, d.groups);
+  const double gap_plain = SgcParityGap(without_graph, d.groups);
+  EXPECT_GT(gap_graph, gap_plain - 0.05)
+      << "homophilous propagation should not shrink the gap";
+  EXPECT_GT(gap_graph, 0.05);
+}
+
+TEST(Sgc, ScoreOnGraphMatchesStoredPropagation) {
+  SbmConfig cfg;
+  cfg.num_nodes = 150;
+  GraphData d = GenerateSbm(cfg, 5);
+  SgcModel model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const Vector scores = model.ScoreAll();
+  for (size_t u = 0; u < 10; ++u) {
+    EXPECT_NEAR(model.ScoreOnGraph(d.graph, d.features, u), scores[u],
+                1e-9);
+  }
+}
+
+TEST(StructuralBias, EdgeSetsAreDisjointAndOrdered) {
+  SbmConfig cfg;
+  cfg.num_nodes = 120;
+  cfg.p_intra = 0.15;
+  cfg.label_shift = 1.0;
+  GraphData d = GenerateSbm(cfg, 6);
+  SgcModel model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const auto report = ExplainNodeBias(model, d, 0, {});
+  // Attributions are sorted ascending by gap change.
+  for (size_t k = 1; k < report.attributions.size(); ++k) {
+    EXPECT_LE(report.attributions[k - 1].gap_change,
+              report.attributions[k].gap_change);
+  }
+  // Bias and fairness sets do not overlap.
+  for (const auto& be : report.bias_edge_set) {
+    for (const auto& fe : report.fairness_edge_set) {
+      EXPECT_FALSE(be == fe);
+    }
+  }
+}
+
+TEST(StructuralBias, RemovingBiasEdgeSetShrinksGap) {
+  SbmConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.p_intra = 0.12;
+  cfg.p_inter = 0.01;
+  cfg.label_shift = 1.2;
+  GraphData d = GenerateSbm(cfg, 7);
+  SgcModel model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  const double base_gap =
+      model.ParityGapOnGraph(d.graph, d.features, d.groups);
+  // Pick a node with some neighbors.
+  size_t node = 0;
+  for (size_t u = 0; u < d.graph.num_nodes(); ++u) {
+    if (d.graph.Degree(u) >= 3) {
+      node = u;
+      break;
+    }
+  }
+  const auto report = ExplainNodeBias(model, d, node, {});
+  if (report.bias_edge_set.empty()) {
+    GTEST_SKIP() << "no bias-accounting edges near this node";
+  }
+  Graph pruned = d.graph;
+  for (const auto& [u, v] : report.bias_edge_set) pruned.RemoveEdge(u, v);
+  const double new_gap =
+      model.ParityGapOnGraph(pruned, d.features, d.groups);
+  EXPECT_LT(new_gap, base_gap + 1e-9);
+}
+
+TEST(NodeInfluence, RankedRemovalReducesGap) {
+  SbmConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.label_shift = 1.2;
+  GraphData d = GenerateSbm(cfg, 8);
+  SgcModel model;
+  ASSERT_TRUE(model.Fit(d).ok());
+  auto report = ExplainBiasByNodeInfluence(model);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->influence.size(), d.graph.num_nodes());
+  EXPECT_GT(report->top_decile_share, 0.1)
+      << "influence should concentrate above uniform (0.1)";
+  // The top-ranked node is the most gap-reducing removal.
+  const size_t top = report->ranked_nodes.front();
+  for (size_t u : report->ranked_nodes) {
+    EXPECT_LE(report->influence[top], report->influence[u]);
+  }
+}
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,161 @@
+// Property sweeps over the group-counterfactual methods (FACTS, GLOBE-CE,
+// CE trees, AReS): structural invariants that must hold for any planted
+// bias level and any of the tabular generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/generators.h"
+#include "src/model/logistic_regression.h"
+#include "src/unfair/ares.h"
+#include "src/unfair/cet.h"
+#include "src/unfair/facts.h"
+#include "src/unfair/globece.h"
+
+namespace xfair {
+namespace {
+
+struct Combo {
+  int generator;  // 0 credit, 1 recidivism, 2 income.
+  double shift;
+};
+
+Dataset MakeData(const Combo& combo, size_t n, uint64_t seed) {
+  BiasConfig cfg;
+  cfg.score_shift = combo.shift;
+  switch (combo.generator) {
+    case 0:
+      return CreditGen(cfg).Generate(n, seed);
+    case 1:
+      return RecidivismGen(cfg).Generate(n, seed);
+    default:
+      return IncomeGen(cfg).Generate(n, seed);
+  }
+}
+
+class GroupCfPropertyTest : public ::testing::TestWithParam<Combo> {
+ protected:
+  void SetUp() override {
+    data_ = MakeData(GetParam(), 600, 701);
+    XFAIR_CHECK(model_.Fit(data_).ok());
+  }
+  Dataset data_ = CreditGen().Generate(1, 0);
+  LogisticRegression model_;
+};
+
+TEST_P(GroupCfPropertyTest, FactsInvariants) {
+  auto report = RunFacts(model_, data_, {});
+  // Effectiveness values are probabilities; unfairness bounded by 1.
+  for (const auto& sg : report.ranked_subgroups) {
+    EXPECT_GE(sg.best_effectiveness_protected, 0.0);
+    EXPECT_LE(sg.best_effectiveness_protected, 1.0);
+    EXPECT_GE(sg.best_effectiveness_non_protected, 0.0);
+    EXPECT_LE(sg.best_effectiveness_non_protected, 1.0);
+    EXPECT_LE(sg.unfairness, 1.0);
+    // Unfairness never exceeds the best non-protected effectiveness (it
+    // is a difference of two effectiveness values for one action).
+    EXPECT_LE(sg.unfairness,
+              sg.best_effectiveness_non_protected + 1e-12);
+    // Subgroup conditions never mention the sensitive column itself.
+    const int sens = data_.schema().sensitive_index();
+    for (const auto& [f, b] : sg.conditions) {
+      EXPECT_NE(static_cast<int>(f), sens);
+    }
+  }
+  // Best overall effectiveness bounds any subgroup's unfairness gap
+  // direction: gaps reported are about the same candidate action set.
+  EXPECT_GE(report.overall_best_effectiveness_non_protected, 0.0);
+  EXPECT_LE(report.overall_best_effectiveness_non_protected, 1.0);
+}
+
+TEST_P(GroupCfPropertyTest, GlobeCeInvariants) {
+  Rng rng(702);
+  auto report = FitGlobeCe(model_, data_, {}, &rng);
+  for (const auto* group :
+       {&report.protected_group, &report.non_protected_group}) {
+    // Direction is unit-norm (or zero if no negatives/CFs existed).
+    const double norm = Norm2(group->direction);
+    EXPECT_TRUE(std::fabs(norm - 1.0) < 1e-9 || norm < 1e-9);
+    EXPECT_GE(group->coverage, 0.0);
+    EXPECT_LE(group->coverage, 1.0);
+    // Scales recorded only for covered members and all positive.
+    for (double s : group->min_scales) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST_P(GroupCfPropertyTest, CetInvariants) {
+  auto report = BuildCounterfactualTree(model_, data_, {});
+  ASSERT_FALSE(report.nodes.empty());
+  // Tree structure: children indices in range; leaf count consistent.
+  size_t leaves = 0;
+  for (const auto& n : report.nodes) {
+    if (n.feature < 0) {
+      ++leaves;
+    } else {
+      ASSERT_GE(n.left, 0);
+      ASSERT_GE(n.right, 0);
+      ASSERT_LT(static_cast<size_t>(n.left), report.nodes.size());
+      ASSERT_LT(static_cast<size_t>(n.right), report.nodes.size());
+    }
+    EXPECT_GE(n.effectiveness, 0.0);
+    EXPECT_LE(n.effectiveness, 1.0);
+  }
+  EXPECT_EQ(leaves, report.num_leaves);
+  // Routing any instance terminates at a leaf whose action is recorded.
+  for (size_t i = 0; i < 20 && i < data_.size(); ++i) {
+    const auto& action = report.ActionFor(data_.instance(i));
+    for (const auto& a : action.actions) {
+      EXPECT_LT(a.feature, data_.num_features());
+    }
+  }
+}
+
+TEST_P(GroupCfPropertyTest, AresInvariants) {
+  auto report = BuildRecourseSet(model_, data_, {});
+  EXPECT_GE(report.total_recourse_rate, 0.0);
+  EXPECT_LE(report.total_recourse_rate, 1.0);
+  for (const auto& rule : report.rules) {
+    EXPECT_GT(rule.effectiveness, 0.0);
+    EXPECT_LE(rule.effectiveness, 1.0);
+    EXPECT_GE(rule.mean_cost, 0.0);
+    // Subgroup descriptors only use immutable features; the action only
+    // touches actionable ones.
+    for (const auto& [f, b] : rule.subgroup) {
+      EXPECT_EQ(data_.schema().feature(f).actionability,
+                Actionability::kImmutable);
+    }
+    for (const auto& a : rule.action.actions) {
+      EXPECT_NE(data_.schema().feature(a.feature).actionability,
+                Actionability::kImmutable);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneratorsAndShifts, GroupCfPropertyTest,
+    ::testing::Values(Combo{0, 0.4}, Combo{0, 1.2}, Combo{1, 0.8},
+                      Combo{2, 0.8}));
+
+TEST(GroupCfMonotonicity, FactsUnfairnessGrowsWithPlantedBias) {
+  // The top subgroup's recourse unfairness should grow (weakly) with the
+  // planted shift, averaged over seeds to smooth search noise.
+  double mild = 0.0, severe = 0.0;
+  for (uint64_t seed : {711u, 712u, 713u}) {
+    BiasConfig mild_cfg, severe_cfg;
+    mild_cfg.score_shift = 0.2;
+    severe_cfg.score_shift = 1.4;
+    Dataset mild_data = CreditGen(mild_cfg).Generate(700, seed);
+    Dataset severe_data = CreditGen(severe_cfg).Generate(700, seed);
+    LogisticRegression mild_model, severe_model;
+    ASSERT_TRUE(mild_model.Fit(mild_data).ok());
+    ASSERT_TRUE(severe_model.Fit(severe_data).ok());
+    mild += RunFacts(mild_model, mild_data, {}).overall_effectiveness_gap;
+    severe +=
+        RunFacts(severe_model, severe_data, {}).overall_effectiveness_gap;
+  }
+  EXPECT_GT(severe, mild);
+}
+
+}  // namespace
+}  // namespace xfair

@@ -1,0 +1,249 @@
+// Tests for src/mitigate: reweighing, massaging, fairness-penalized
+// training (parity and recourse-equalizing), and group-threshold
+// post-processing. Each mitigation must reduce its target gap on
+// planted-bias data without destroying accuracy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/generators.h"
+#include "src/data/scaler.h"
+#include "src/fairness/individual_metrics.h"
+#include "src/fairness/group_metrics.h"
+#include "src/mitigate/inprocess.h"
+#include "src/mitigate/postprocess.h"
+#include "src/mitigate/preprocess.h"
+#include "src/unfair/recourse.h"
+
+namespace xfair {
+namespace {
+
+struct BiasedSplit {
+  Dataset train, test;
+  LogisticRegression baseline;
+
+  static BiasedSplit Make(uint64_t seed = 31) {
+    BiasConfig cfg;
+    cfg.score_shift = 1.0;
+    cfg.label_bias = 0.1;
+    Dataset all = CreditGen(cfg).Generate(2400, seed);
+    Rng rng(seed + 1);
+    auto [train, test] = all.Split(0.6, &rng);
+    BiasedSplit s{std::move(train), std::move(test), {}};
+    XFAIR_CHECK(s.baseline.Fit(s.train).ok());
+    return s;
+  }
+};
+
+TEST(Reweighing, WeightsEqualizeGroupLabelMass) {
+  auto s = BiasedSplit::Make();
+  Vector w = ReweighingWeights(s.train);
+  ASSERT_EQ(w.size(), s.train.size());
+  // Weighted P(y=1 | g) must be equal across groups.
+  double mass[2] = {0, 0}, pos[2] = {0, 0};
+  for (size_t i = 0; i < s.train.size(); ++i) {
+    mass[s.train.group(i)] += w[i];
+    pos[s.train.group(i)] += w[i] * s.train.label(i);
+  }
+  EXPECT_NEAR(pos[1] / mass[1], pos[0] / mass[0], 1e-9);
+}
+
+TEST(Reweighing, ReducesParityGap) {
+  auto s = BiasedSplit::Make();
+  const double base_gap =
+      std::fabs(StatisticalParityDifference(s.baseline, s.test));
+  LogisticRegression reweighed;
+  ASSERT_TRUE(
+      reweighed.Fit(s.train, {}, ReweighingWeights(s.train)).ok());
+  const double new_gap =
+      std::fabs(StatisticalParityDifference(reweighed, s.test));
+  EXPECT_LT(new_gap, base_gap);
+  EXPECT_GT(Accuracy(reweighed, s.test), 0.6);
+}
+
+TEST(Massaging, FlipsExactlyPairedLabels) {
+  auto s = BiasedSplit::Make();
+  Dataset massaged = MassageLabels(s.train, s.baseline, 40);
+  size_t promoted = 0, demoted = 0;
+  for (size_t i = 0; i < s.train.size(); ++i) {
+    if (s.train.label(i) != massaged.label(i)) {
+      if (massaged.label(i) == 1) {
+        ++promoted;
+        EXPECT_EQ(massaged.group(i), 1);
+      } else {
+        ++demoted;
+        EXPECT_EQ(massaged.group(i), 0);
+      }
+    }
+  }
+  EXPECT_EQ(promoted, 40u);
+  EXPECT_EQ(demoted, 40u);
+}
+
+TEST(Massaging, ReducesParityGap) {
+  auto s = BiasedSplit::Make();
+  const double base_gap =
+      std::fabs(StatisticalParityDifference(s.baseline, s.test));
+  // Flip enough pairs to matter (~where base rates equalize).
+  Dataset massaged = MassageLabels(s.train, s.baseline, 120);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(massaged).ok());
+  EXPECT_LT(std::fabs(StatisticalParityDifference(model, s.test)),
+            base_gap);
+}
+
+TEST(FairTraining, LambdaZeroMatchesPlainTraining) {
+  auto s = BiasedSplit::Make();
+  FairTrainingOptions opts;
+  opts.lambda = 0.0;
+  auto fair = TrainFairLogisticRegression(s.train, opts);
+  ASSERT_TRUE(fair.ok());
+  // Same sign structure and similar accuracy as the plain baseline.
+  EXPECT_NEAR(Accuracy(*fair, s.test), Accuracy(s.baseline, s.test), 0.05);
+}
+
+TEST(FairTraining, ParityPenaltyShrinksGapMonotonically) {
+  auto s = BiasedSplit::Make();
+  double prev_gap = 1e9;
+  for (double lambda : {0.0, 2.0, 20.0}) {
+    FairTrainingOptions opts;
+    opts.penalty = FairPenalty::kParity;
+    opts.lambda = lambda;
+    auto model = TrainFairLogisticRegression(s.train, opts);
+    ASSERT_TRUE(model.ok());
+    const double gap =
+        std::fabs(StatisticalParityDifference(*model, s.test));
+    EXPECT_LT(gap, prev_gap + 0.02)
+        << "gap should not grow with lambda=" << lambda;
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.08) << "strong penalty should nearly close the gap";
+}
+
+TEST(FairTraining, RecoursePenaltyShrinksRecourseGap) {
+  auto s = BiasedSplit::Make();
+  const double base_gap =
+      std::fabs(EvaluateGroupRecourse(s.baseline, s.test).recourse_gap);
+  FairTrainingOptions opts;
+  opts.penalty = FairPenalty::kRecourse;
+  opts.lambda = 5.0;
+  auto model = TrainFairLogisticRegression(s.train, opts);
+  ASSERT_TRUE(model.ok());
+  const double new_gap =
+      std::fabs(EvaluateGroupRecourse(*model, s.test).recourse_gap);
+  EXPECT_LT(new_gap, base_gap);
+}
+
+TEST(FairTraining, RejectsSingleGroupData) {
+  Dataset d = CreditGen().Generate(100, 33);
+  Dataset only_g1 = d.Subset(d.GroupIndices(1));
+  FairTrainingOptions opts;
+  EXPECT_FALSE(TrainFairLogisticRegression(only_g1, opts).ok());
+}
+
+class ThresholdCriterionTest
+    : public ::testing::TestWithParam<ThresholdCriterion> {};
+
+TEST_P(ThresholdCriterionTest, ClosesItsGap) {
+  auto s = BiasedSplit::Make();
+  ThresholdSearchOptions opts;
+  opts.criterion = GetParam();
+  auto wrapped = FitGroupThresholds(s.baseline, s.train, opts);
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+  double before = 0.0, after = 0.0;
+  switch (GetParam()) {
+    case ThresholdCriterion::kStatisticalParity:
+      before = std::fabs(StatisticalParityDifference(s.baseline, s.test));
+      after = std::fabs(StatisticalParityDifference(*wrapped, s.test));
+      break;
+    case ThresholdCriterion::kEqualOpportunity:
+      before = std::fabs(EqualOpportunityDifference(s.baseline, s.test));
+      after = std::fabs(EqualOpportunityDifference(*wrapped, s.test));
+      break;
+    case ThresholdCriterion::kEqualizedOdds:
+      before = EqualizedOddsDifference(s.baseline, s.test);
+      after = EqualizedOddsDifference(*wrapped, s.test);
+      break;
+  }
+  EXPECT_LT(after, before);
+  EXPECT_GT(Accuracy(*wrapped, s.test), 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCriteria, ThresholdCriterionTest,
+    ::testing::Values(ThresholdCriterion::kStatisticalParity,
+                      ThresholdCriterion::kEqualOpportunity,
+                      ThresholdCriterion::kEqualizedOdds));
+
+TEST(Thresholds, WrapperUsesGroupSpecificCutoffs) {
+  auto s = BiasedSplit::Make();
+  GroupThresholdModel wrapped(&s.baseline, 0, 0.8, 0.2);
+  // A protected instance with mid score passes; non-protected fails.
+  Vector x = s.train.instance(0);
+  x[0] = 1.0;
+  const double p = wrapped.PredictProba(x);
+  if (p >= 0.2 && p < 0.8) {
+    EXPECT_EQ(wrapped.Predict(x), 1);
+    x[0] = 0.0;
+    // Score changes with x[0] for this model; just check thresholds are
+    // reported faithfully.
+  }
+  EXPECT_DOUBLE_EQ(wrapped.threshold_protected(), 0.2);
+  EXPECT_DOUBLE_EQ(wrapped.threshold_non_protected(), 0.8);
+}
+
+TEST(Thresholds, FailsWithoutSensitiveColumn) {
+  Dataset d = CreditGen().Generate(200, 34);
+  Dataset blind = d.WithoutFeature(0);  // Drops the sensitive column.
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(blind).ok());
+  auto result = FitGroupThresholds(lr, blind, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FairTraining, IndividualPenaltyImprovesLipschitzConsistency) {
+  // The Lipschitz surrogate should lower the violation rate against the
+  // same constant it was trained with, at some accuracy cost.
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(900, 35);
+  // Evaluate in standardized space so the metric matches the penalty.
+  StandardScaler scaler;
+  scaler.Fit(data);
+  Dataset scaled = scaler.Transform(data);
+
+  LogisticRegression baseline;
+  ASSERT_TRUE(baseline.Fit(scaled).ok());
+  FairTrainingOptions opts;
+  opts.penalty = FairPenalty::kIndividual;
+  opts.lambda = 5.0;
+  opts.lipschitz = 0.1;
+  auto smooth = TrainFairLogisticRegression(scaled, opts);
+  ASSERT_TRUE(smooth.ok());
+
+  Rng rng(36);
+  const double violations_base =
+      LipschitzViolationRate(baseline, scaled, opts.lipschitz, 3000, &rng);
+  const double violations_smooth =
+      LipschitzViolationRate(*smooth, scaled, opts.lipschitz, 3000, &rng);
+  EXPECT_LT(violations_smooth, violations_base);
+  EXPECT_GT(Accuracy(*smooth, scaled), 0.55);
+}
+
+TEST(FairTraining, IndividualPenaltyIsDeterministic) {
+  Dataset data = CreditGen().Generate(300, 37);
+  FairTrainingOptions opts;
+  opts.penalty = FairPenalty::kIndividual;
+  opts.lambda = 2.0;
+  auto a = TrainFairLogisticRegression(data, opts);
+  auto b = TrainFairLogisticRegression(data, opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t c = 0; c < a->weights().size(); ++c) {
+    EXPECT_DOUBLE_EQ(a->weights()[c], b->weights()[c]);
+  }
+}
+
+}  // namespace
+}  // namespace xfair

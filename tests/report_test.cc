@@ -1,0 +1,67 @@
+// Tests for the one-call audit report (src/core/report.h) and the
+// umbrella header.
+
+#include <gtest/gtest.h>
+
+#include "src/xfair.h"  // Umbrella: must compile and expose everything.
+#include "src/core/report.h"
+
+namespace xfair {
+namespace {
+
+TEST(AuditReport, ContainsAllSectionsOnBiasedData) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(700, 801);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  const std::string report = WriteAuditReport(model, data);
+  EXPECT_NE(report.find("# xfair audit report"), std::string::npos);
+  EXPECT_NE(report.find("Group fairness"), std::string::npos);
+  EXPECT_NE(report.find("Counterfactual burden"), std::string::npos);
+  EXPECT_NE(report.find("fairness Shapley"), std::string::npos);
+  EXPECT_NE(report.find("FACTS"), std::string::npos);
+  EXPECT_NE(report.find("tradeoff"), std::string::npos);
+  // The biased fixture must trip the 80%-rule verdict.
+  EXPECT_NE(report.find("FAILS the 80% rule"), std::string::npos);
+}
+
+TEST(AuditReport, CanSkipCounterfactualSections) {
+  Dataset data = CreditGen().Generate(300, 802);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  AuditReportOptions opts;
+  opts.include_counterfactual_sections = false;
+  const std::string report = WriteAuditReport(model, data, opts);
+  EXPECT_EQ(report.find("Counterfactual burden"), std::string::npos);
+  EXPECT_EQ(report.find("FACTS"), std::string::npos);
+  EXPECT_NE(report.find("Group fairness"), std::string::npos);
+}
+
+TEST(AuditReport, DeterministicForSameSeed) {
+  Dataset data = CreditGen().Generate(400, 803);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(WriteAuditReport(model, data), WriteAuditReport(model, data));
+}
+
+TEST(UmbrellaHeader, ExposesEveryLayer) {
+  // One symbol per layer: compiling this test is most of the assertion.
+  Rng rng(7);
+  EXPECT_LE(rng.Uniform(), 1.0);                       // util
+  EXPECT_EQ(CreditGen::MakeSchema().sensitive_index(), 0);  // data
+  EXPECT_EQ(Matrix::Identity(2).At(1, 1), 1.0);        // matrix
+  EXPECT_STREQ(ToString(FairnessTask::kGraph), "Graph");  // core taxonomy
+  EXPECT_GE(PositionBias(0), PositionBias(1));         // fairness
+  CausalWorld world = MakeCreditWorld(0.5);             // causal
+  EXPECT_EQ(world.scm.num_vars(), 5u);
+  Graph g(2);                                          // graph
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  Interactions ia(1, 1);                                // rec
+  ia.Add(0, 0);
+  EXPECT_TRUE(ia.Has(0, 0));
+}
+
+}  // namespace
+}  // namespace xfair
