@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burden_nawb.dir/bench_burden_nawb.cc.o"
+  "CMakeFiles/bench_burden_nawb.dir/bench_burden_nawb.cc.o.d"
+  "bench_burden_nawb"
+  "bench_burden_nawb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burden_nawb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fairness_shap.dir/bench_fairness_shap.cc.o"
+  "CMakeFiles/bench_fairness_shap.dir/bench_fairness_shap.cc.o.d"
+  "bench_fairness_shap"
+  "bench_fairness_shap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fairness_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gopher.dir/bench_gopher.cc.o"
+  "CMakeFiles/bench_gopher.dir/bench_gopher.cc.o.d"
+  "bench_gopher"
+  "bench_gopher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gopher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_fairness.dir/bench_graph_fairness.cc.o"
+  "CMakeFiles/bench_graph_fairness.dir/bench_graph_fairness.cc.o.d"
+  "bench_graph_fairness"
+  "bench_graph_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_cf.dir/bench_group_cf.cc.o"
+  "CMakeFiles/bench_group_cf.dir/bench_group_cf.cc.o.d"
+  "bench_group_cf"
+  "bench_group_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

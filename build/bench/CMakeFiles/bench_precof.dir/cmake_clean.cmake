@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precof.dir/bench_precof.cc.o"
+  "CMakeFiles/bench_precof.dir/bench_precof.cc.o.d"
+  "bench_precof"
+  "bench_precof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

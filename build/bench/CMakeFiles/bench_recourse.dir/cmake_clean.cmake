@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recourse.dir/bench_recourse.cc.o"
+  "CMakeFiles/bench_recourse.dir/bench_recourse.cc.o.d"
+  "bench_recourse"
+  "bench_recourse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recourse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xai_substrate.dir/bench_xai_substrate.cc.o"
+  "CMakeFiles/bench_xai_substrate.dir/bench_xai_substrate.cc.o.d"
+  "bench_xai_substrate"
+  "bench_xai_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xai_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

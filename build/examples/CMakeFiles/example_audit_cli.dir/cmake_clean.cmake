@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_audit_cli.dir/audit_cli.cpp.o"
+  "CMakeFiles/example_audit_cli.dir/audit_cli.cpp.o.d"
+  "example_audit_cli"
+  "example_audit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_audit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_causal_recourse_workshop.dir/causal_recourse_workshop.cpp.o"
+  "CMakeFiles/example_causal_recourse_workshop.dir/causal_recourse_workshop.cpp.o.d"
+  "example_causal_recourse_workshop"
+  "example_causal_recourse_workshop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_causal_recourse_workshop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_causal_recourse_workshop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_causal_recourse_workshop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_fairness.dir/graph_fairness.cpp.o"
+  "CMakeFiles/example_graph_fairness.dir/graph_fairness.cpp.o.d"
+  "example_graph_fairness"
+  "example_graph_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

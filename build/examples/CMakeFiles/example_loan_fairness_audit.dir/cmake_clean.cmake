@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_loan_fairness_audit.dir/loan_fairness_audit.cpp.o"
+  "CMakeFiles/example_loan_fairness_audit.dir/loan_fairness_audit.cpp.o.d"
+  "example_loan_fairness_audit"
+  "example_loan_fairness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_loan_fairness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recsys_fairness.dir/recsys_fairness.cpp.o"
+  "CMakeFiles/example_recsys_fairness.dir/recsys_fairness.cpp.o.d"
+  "example_recsys_fairness"
+  "example_recsys_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recsys_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

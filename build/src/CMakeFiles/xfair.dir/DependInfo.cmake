@@ -1,0 +1,89 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beyond/cef.cc" "src/CMakeFiles/xfair.dir/beyond/cef.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/cef.cc.o.d"
+  "/root/repo/src/beyond/cfairer.cc" "src/CMakeFiles/xfair.dir/beyond/cfairer.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/cfairer.cc.o.d"
+  "/root/repo/src/beyond/dexer.cc" "src/CMakeFiles/xfair.dir/beyond/dexer.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/dexer.cc.o.d"
+  "/root/repo/src/beyond/fair_topk.cc" "src/CMakeFiles/xfair.dir/beyond/fair_topk.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/fair_topk.cc.o.d"
+  "/root/repo/src/beyond/gnnuers.cc" "src/CMakeFiles/xfair.dir/beyond/gnnuers.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/gnnuers.cc.o.d"
+  "/root/repo/src/beyond/kg_rerank.cc" "src/CMakeFiles/xfair.dir/beyond/kg_rerank.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/kg_rerank.cc.o.d"
+  "/root/repo/src/beyond/node_influence.cc" "src/CMakeFiles/xfair.dir/beyond/node_influence.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/node_influence.cc.o.d"
+  "/root/repo/src/beyond/rec_edge_explain.cc" "src/CMakeFiles/xfair.dir/beyond/rec_edge_explain.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/rec_edge_explain.cc.o.d"
+  "/root/repo/src/beyond/structural_bias.cc" "src/CMakeFiles/xfair.dir/beyond/structural_bias.cc.o" "gcc" "src/CMakeFiles/xfair.dir/beyond/structural_bias.cc.o.d"
+  "/root/repo/src/causal/dag.cc" "src/CMakeFiles/xfair.dir/causal/dag.cc.o" "gcc" "src/CMakeFiles/xfair.dir/causal/dag.cc.o.d"
+  "/root/repo/src/causal/scm.cc" "src/CMakeFiles/xfair.dir/causal/scm.cc.o" "gcc" "src/CMakeFiles/xfair.dir/causal/scm.cc.o.d"
+  "/root/repo/src/causal/worlds.cc" "src/CMakeFiles/xfair.dir/causal/worlds.cc.o" "gcc" "src/CMakeFiles/xfair.dir/causal/worlds.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/xfair.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/xfair.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/xfair.dir/core/report.cc.o" "gcc" "src/CMakeFiles/xfair.dir/core/report.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/CMakeFiles/xfair.dir/core/taxonomy.cc.o" "gcc" "src/CMakeFiles/xfair.dir/core/taxonomy.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/xfair.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/xfair.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/xfair.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/xfair.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/xfair.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/xfair.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/xfair.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/xfair.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/xfair.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/xfair.dir/data/schema.cc.o.d"
+  "/root/repo/src/explain/counterfactual.cc" "src/CMakeFiles/xfair.dir/explain/counterfactual.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/counterfactual.cc.o.d"
+  "/root/repo/src/explain/diverse.cc" "src/CMakeFiles/xfair.dir/explain/diverse.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/diverse.cc.o.d"
+  "/root/repo/src/explain/importance.cc" "src/CMakeFiles/xfair.dir/explain/importance.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/importance.cc.o.d"
+  "/root/repo/src/explain/influence.cc" "src/CMakeFiles/xfair.dir/explain/influence.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/influence.cc.o.d"
+  "/root/repo/src/explain/prototypes.cc" "src/CMakeFiles/xfair.dir/explain/prototypes.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/prototypes.cc.o.d"
+  "/root/repo/src/explain/rules.cc" "src/CMakeFiles/xfair.dir/explain/rules.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/rules.cc.o.d"
+  "/root/repo/src/explain/shap.cc" "src/CMakeFiles/xfair.dir/explain/shap.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/shap.cc.o.d"
+  "/root/repo/src/explain/surrogate.cc" "src/CMakeFiles/xfair.dir/explain/surrogate.cc.o" "gcc" "src/CMakeFiles/xfair.dir/explain/surrogate.cc.o.d"
+  "/root/repo/src/fairness/drift.cc" "src/CMakeFiles/xfair.dir/fairness/drift.cc.o" "gcc" "src/CMakeFiles/xfair.dir/fairness/drift.cc.o.d"
+  "/root/repo/src/fairness/group_metrics.cc" "src/CMakeFiles/xfair.dir/fairness/group_metrics.cc.o" "gcc" "src/CMakeFiles/xfair.dir/fairness/group_metrics.cc.o.d"
+  "/root/repo/src/fairness/individual_metrics.cc" "src/CMakeFiles/xfair.dir/fairness/individual_metrics.cc.o" "gcc" "src/CMakeFiles/xfair.dir/fairness/individual_metrics.cc.o.d"
+  "/root/repo/src/fairness/ranking_metrics.cc" "src/CMakeFiles/xfair.dir/fairness/ranking_metrics.cc.o" "gcc" "src/CMakeFiles/xfair.dir/fairness/ranking_metrics.cc.o.d"
+  "/root/repo/src/fairness/tradeoff.cc" "src/CMakeFiles/xfair.dir/fairness/tradeoff.cc.o" "gcc" "src/CMakeFiles/xfair.dir/fairness/tradeoff.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/xfair.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/xfair.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/sbm.cc" "src/CMakeFiles/xfair.dir/graph/sbm.cc.o" "gcc" "src/CMakeFiles/xfair.dir/graph/sbm.cc.o.d"
+  "/root/repo/src/graph/sgc.cc" "src/CMakeFiles/xfair.dir/graph/sgc.cc.o" "gcc" "src/CMakeFiles/xfair.dir/graph/sgc.cc.o.d"
+  "/root/repo/src/mitigate/counterfactual_fair.cc" "src/CMakeFiles/xfair.dir/mitigate/counterfactual_fair.cc.o" "gcc" "src/CMakeFiles/xfair.dir/mitigate/counterfactual_fair.cc.o.d"
+  "/root/repo/src/mitigate/inprocess.cc" "src/CMakeFiles/xfair.dir/mitigate/inprocess.cc.o" "gcc" "src/CMakeFiles/xfair.dir/mitigate/inprocess.cc.o.d"
+  "/root/repo/src/mitigate/postprocess.cc" "src/CMakeFiles/xfair.dir/mitigate/postprocess.cc.o" "gcc" "src/CMakeFiles/xfair.dir/mitigate/postprocess.cc.o.d"
+  "/root/repo/src/mitigate/preprocess.cc" "src/CMakeFiles/xfair.dir/mitigate/preprocess.cc.o" "gcc" "src/CMakeFiles/xfair.dir/mitigate/preprocess.cc.o.d"
+  "/root/repo/src/model/calibration.cc" "src/CMakeFiles/xfair.dir/model/calibration.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/calibration.cc.o.d"
+  "/root/repo/src/model/decision_tree.cc" "src/CMakeFiles/xfair.dir/model/decision_tree.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/decision_tree.cc.o.d"
+  "/root/repo/src/model/gbm.cc" "src/CMakeFiles/xfair.dir/model/gbm.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/gbm.cc.o.d"
+  "/root/repo/src/model/knn.cc" "src/CMakeFiles/xfair.dir/model/knn.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/knn.cc.o.d"
+  "/root/repo/src/model/logistic_regression.cc" "src/CMakeFiles/xfair.dir/model/logistic_regression.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/logistic_regression.cc.o.d"
+  "/root/repo/src/model/metrics.cc" "src/CMakeFiles/xfair.dir/model/metrics.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/metrics.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/CMakeFiles/xfair.dir/model/model.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/model.cc.o.d"
+  "/root/repo/src/model/random_forest.cc" "src/CMakeFiles/xfair.dir/model/random_forest.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/random_forest.cc.o.d"
+  "/root/repo/src/model/softmax_regression.cc" "src/CMakeFiles/xfair.dir/model/softmax_regression.cc.o" "gcc" "src/CMakeFiles/xfair.dir/model/softmax_regression.cc.o.d"
+  "/root/repo/src/rec/interactions.cc" "src/CMakeFiles/xfair.dir/rec/interactions.cc.o" "gcc" "src/CMakeFiles/xfair.dir/rec/interactions.cc.o.d"
+  "/root/repo/src/rec/knowledge_graph.cc" "src/CMakeFiles/xfair.dir/rec/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/xfair.dir/rec/knowledge_graph.cc.o.d"
+  "/root/repo/src/rec/mf.cc" "src/CMakeFiles/xfair.dir/rec/mf.cc.o" "gcc" "src/CMakeFiles/xfair.dir/rec/mf.cc.o.d"
+  "/root/repo/src/rec/recwalk.cc" "src/CMakeFiles/xfair.dir/rec/recwalk.cc.o" "gcc" "src/CMakeFiles/xfair.dir/rec/recwalk.cc.o.d"
+  "/root/repo/src/unfair/actions.cc" "src/CMakeFiles/xfair.dir/unfair/actions.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/actions.cc.o.d"
+  "/root/repo/src/unfair/ares.cc" "src/CMakeFiles/xfair.dir/unfair/ares.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/ares.cc.o.d"
+  "/root/repo/src/unfair/burden.cc" "src/CMakeFiles/xfair.dir/unfair/burden.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/burden.cc.o.d"
+  "/root/repo/src/unfair/causal_path.cc" "src/CMakeFiles/xfair.dir/unfair/causal_path.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/causal_path.cc.o.d"
+  "/root/repo/src/unfair/cet.cc" "src/CMakeFiles/xfair.dir/unfair/cet.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/cet.cc.o.d"
+  "/root/repo/src/unfair/contrastive.cc" "src/CMakeFiles/xfair.dir/unfair/contrastive.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/contrastive.cc.o.d"
+  "/root/repo/src/unfair/explanation_quality.cc" "src/CMakeFiles/xfair.dir/unfair/explanation_quality.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/explanation_quality.cc.o.d"
+  "/root/repo/src/unfair/facts.cc" "src/CMakeFiles/xfair.dir/unfair/facts.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/facts.cc.o.d"
+  "/root/repo/src/unfair/fairness_shap.cc" "src/CMakeFiles/xfair.dir/unfair/fairness_shap.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/fairness_shap.cc.o.d"
+  "/root/repo/src/unfair/globece.cc" "src/CMakeFiles/xfair.dir/unfair/globece.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/globece.cc.o.d"
+  "/root/repo/src/unfair/gopher.cc" "src/CMakeFiles/xfair.dir/unfair/gopher.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/gopher.cc.o.d"
+  "/root/repo/src/unfair/precof.cc" "src/CMakeFiles/xfair.dir/unfair/precof.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/precof.cc.o.d"
+  "/root/repo/src/unfair/recourse.cc" "src/CMakeFiles/xfair.dir/unfair/recourse.cc.o" "gcc" "src/CMakeFiles/xfair.dir/unfair/recourse.cc.o.d"
+  "/root/repo/src/util/matrix.cc" "src/CMakeFiles/xfair.dir/util/matrix.cc.o" "gcc" "src/CMakeFiles/xfair.dir/util/matrix.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/xfair.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/xfair.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/xfair.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/xfair.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xfair.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xfair.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/xfair.dir/util/table.cc.o" "gcc" "src/CMakeFiles/xfair.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

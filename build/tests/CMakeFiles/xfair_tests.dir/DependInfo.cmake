@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/beyond_degenerate_test.cc" "tests/CMakeFiles/xfair_tests.dir/beyond_degenerate_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/beyond_degenerate_test.cc.o.d"
+  "/root/repo/tests/causal_test.cc" "tests/CMakeFiles/xfair_tests.dir/causal_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/causal_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/xfair_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/xfair_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/xfair_tests.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/explain_test.cc.o.d"
+  "/root/repo/tests/extensions2_test.cc" "tests/CMakeFiles/xfair_tests.dir/extensions2_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/extensions2_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/xfair_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_test.cc" "tests/CMakeFiles/xfair_tests.dir/failure_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/failure_test.cc.o.d"
+  "/root/repo/tests/fair_topk_test.cc" "tests/CMakeFiles/xfair_tests.dir/fair_topk_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/fair_topk_test.cc.o.d"
+  "/root/repo/tests/fairness_test.cc" "tests/CMakeFiles/xfair_tests.dir/fairness_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/fairness_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/xfair_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/groupcf_property_test.cc" "tests/CMakeFiles/xfair_tests.dir/groupcf_property_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/groupcf_property_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xfair_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kg_test.cc" "tests/CMakeFiles/xfair_tests.dir/kg_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/kg_test.cc.o.d"
+  "/root/repo/tests/mitigate_test.cc" "tests/CMakeFiles/xfair_tests.dir/mitigate_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/mitigate_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/xfair_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xfair_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rec_test.cc" "tests/CMakeFiles/xfair_tests.dir/rec_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/rec_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/xfair_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/unfair_test.cc" "tests/CMakeFiles/xfair_tests.dir/unfair_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/unfair_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/xfair_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/xfair_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xfair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
