@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/causal/worlds.h"
 #include "src/data/generators.h"
 #include "src/explain/shap.h"
@@ -113,6 +114,19 @@ void PrintOnce() {
                 "most of the disparity; the sum of path contributions "
                 "approximates the actual total.\n%s\n",
                 t.ToString().c_str());
+  }
+
+  // Serial vs parallel wall time of the masking-mode hot path, written
+  // to BENCH_fairness_shap.json.
+  {
+    BiasConfig cfg;
+    cfg.score_shift = 1.0;
+    Dataset data = CreditGen(cfg).Generate(900, 118);
+    LogisticRegression model;
+    XFAIR_CHECK(model.Fit(data).ok());
+    RecordParallelSpeedup("fairness_shap", [&] {
+      benchmark::DoNotOptimize(ExplainParityWithShapley(model, data, {}));
+    });
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "src/data/generators.h"
 #include "src/unfair/gopher.h"
 #include "src/util/table.h"
@@ -71,6 +72,21 @@ void PrintOnce() {
                 "larger planted gaps leave more room for data-removal "
                 "repairs.\n%s\n",
                 t.ToString().c_str());
+  }
+
+  // Serial vs parallel wall time of candidate scoring + verification,
+  // written to BENCH_gopher.json.
+  {
+    BiasConfig cfg;
+    cfg.score_shift = 1.0;
+    Dataset data = CreditGen(cfg).Generate(800, 125);
+    LogisticRegression model;
+    XFAIR_CHECK(model.Fit(data).ok());
+    GopherOptions opts;
+    opts.top_k = 5;
+    RecordParallelSpeedup("gopher", [&] {
+      benchmark::DoNotOptimize(ExplainUnfairnessByPatterns(model, data, opts));
+    });
   }
 }
 

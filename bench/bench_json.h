@@ -1,0 +1,91 @@
+// Serial-vs-parallel speedup harness for the benches.
+//
+// RecordParallelSpeedup times one workload twice — pool pinned to a
+// single worker, then to XFAIR_BENCH_THREADS workers (default 4) — and
+// writes the measurement to BENCH_<name>.json in the working directory,
+// so speedups are machine-readable artifacts of a bench run rather than
+// numbers scraped from stdout. Determinism makes the comparison honest:
+// both runs produce bit-identical results, so the only difference is
+// wall time.
+
+#ifndef XFAIR_BENCH_BENCH_JSON_H_
+#define XFAIR_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/util/parallel.h"
+
+namespace xfair {
+namespace bench_json_internal {
+
+inline double TimeMs(const std::function<void()>& workload, int repeats) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    workload();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+inline size_t BenchThreads() {
+  if (const char* env = std::getenv("XFAIR_BENCH_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 4;
+}
+
+}  // namespace bench_json_internal
+
+/// Runs `workload` serially and with the pool at XFAIR_BENCH_THREADS
+/// (default 4) workers, taking the best of `repeats` runs each, and
+/// writes BENCH_<name>.json. Restores the pool to its environment
+/// default before returning.
+inline void RecordParallelSpeedup(const std::string& name,
+                                  const std::function<void()>& workload,
+                                  int repeats = 3) {
+  const size_t threads = bench_json_internal::BenchThreads();
+  SetParallelThreads(1);
+  const double serial_ms = bench_json_internal::TimeMs(workload, repeats);
+  SetParallelThreads(threads);
+  const double parallel_ms = bench_json_internal::TimeMs(workload, repeats);
+  SetParallelThreads(0);
+
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"serial_ms\": %.3f,\n"
+               "  \"parallel_ms\": %.3f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"threads\": %zu,\n"
+               "  \"hardware_concurrency\": %u\n"
+               "}\n",
+               name.c_str(), serial_ms, parallel_ms, speedup, threads,
+               std::thread::hardware_concurrency());
+  std::fclose(f);
+  std::printf("[bench_json] %s: serial %.1f ms, %zu-thread %.1f ms, "
+              "speedup %.2fx -> %s\n",
+              name.c_str(), serial_ms, threads, parallel_ms, speedup,
+              path.c_str());
+}
+
+}  // namespace xfair
+
+#endif  // XFAIR_BENCH_BENCH_JSON_H_

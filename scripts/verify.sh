@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, the same suite with the pool
+# forced to 4 workers, and the parallel runtime under ThreadSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo
+echo "== tier-1 again with XFAIR_THREADS=4 =="
+(cd build && XFAIR_THREADS=4 ctest --output-on-failure -j)
+
+echo
+echo "== parallel_test under ThreadSanitizer (XFAIR_THREADS=8) =="
+cmake -B build-tsan -S . -DXFAIR_TSAN=ON > /dev/null
+cmake --build build-tsan -j --target parallel_test
+XFAIR_THREADS=8 ./build-tsan/tests/parallel_test
+
+echo
+echo "verify: all checks passed"

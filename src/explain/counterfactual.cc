@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 namespace {
 
@@ -169,32 +171,62 @@ CounterfactualResult GrowingSpheresCounterfactual(
     r.valid = true;
     return r;
   }
+  // Every candidate draws from a stream forked off one root, so the
+  // sphere samples (and therefore the counterfactual) are identical for
+  // every thread count; candidates within an iteration are scored in
+  // parallel and the winner is the (distance, sample index) minimum.
+  const Rng root = rng->Split();
   double radius = config.initial_radius;
   size_t iter = 0;
   for (; iter < config.max_iterations; ++iter) {
+    const size_t samples = config.samples_per_sphere;
+    struct Best {
+      Vector cand;
+      double dist = 0.0;
+      size_t sample = 0;
+    };
+    const std::vector<ChunkRange> chunks = DeterministicChunks(0, samples);
+    std::vector<Best> bests(chunks.size());
+    ParallelForChunks(0, samples, [&](const ChunkRange& chunk) {
+      Best best;
+      for (size_t s = chunk.begin; s < chunk.end; ++s) {
+        Rng sample_rng = root.Fork(iter * samples + s);
+        // Random direction on the unit sphere, scaled per-feature by
+        // range.
+        Vector cand = x;
+        Vector dir(x.size());
+        double norm = 0.0;
+        for (size_t c = 0; c < x.size(); ++c) {
+          dir[c] = sample_rng.Normal();
+          norm += dir[c] * dir[c];
+        }
+        norm = std::sqrt(std::max(norm, 1e-12));
+        const double r = radius * (0.7 + 0.3 * sample_rng.Uniform());
+        for (size_t c = 0; c < x.size(); ++c) {
+          cand[c] += r * FeatureRange(schema.feature(c)) * dir[c] / norm;
+        }
+        Project(schema, x, config.respect_actionability, &cand);
+        if (model.Predict(cand) == target) {
+          const double dist = NormalizedDistance(schema, x, cand);
+          if (best.cand.empty() || dist < best.dist) {
+            best.cand = std::move(cand);
+            best.dist = dist;
+            best.sample = s;
+          }
+        }
+      }
+      bests[chunk.index] = std::move(best);
+    });
     Vector best_cand;
     double best_dist = 0.0;
-    for (size_t s = 0; s < config.samples_per_sphere; ++s) {
-      // Random direction on the unit sphere, scaled per-feature by range.
-      Vector cand = x;
-      Vector dir(x.size());
-      double norm = 0.0;
-      for (size_t c = 0; c < x.size(); ++c) {
-        dir[c] = rng->Normal();
-        norm += dir[c] * dir[c];
-      }
-      norm = std::sqrt(std::max(norm, 1e-12));
-      const double r = radius * (0.7 + 0.3 * rng->Uniform());
-      for (size_t c = 0; c < x.size(); ++c) {
-        cand[c] += r * FeatureRange(schema.feature(c)) * dir[c] / norm;
-      }
-      Project(schema, x, config.respect_actionability, &cand);
-      if (model.Predict(cand) == target) {
-        const double dist = NormalizedDistance(schema, x, cand);
-        if (best_cand.empty() || dist < best_dist) {
-          best_cand = std::move(cand);
-          best_dist = dist;
-        }
+    size_t best_sample = 0;
+    for (auto& b : bests) {
+      if (b.cand.empty()) continue;
+      if (best_cand.empty() || b.dist < best_dist ||
+          (b.dist == best_dist && b.sample < best_sample)) {
+        best_cand = std::move(b.cand);
+        best_dist = b.dist;
+        best_sample = b.sample;
       }
     }
     if (!best_cand.empty()) {
@@ -209,13 +241,21 @@ GroupCounterfactuals CounterfactualsForNegatives(
     const Model& model, const Dataset& data,
     const CounterfactualConfig& config, Rng* rng) {
   GroupCounterfactuals out;
+  // One batched pass finds the negatives; each then gets an independent
+  // forked Rng stream keyed on its row index, so the per-instance
+  // searches can run in parallel with thread-count-independent results.
+  const std::vector<int> predictions = model.PredictBatch(data.x());
   for (size_t i = 0; i < data.size(); ++i) {
-    const Vector x = data.instance(i);
-    if (model.Predict(x) == config.target_class) continue;
-    out.indices.push_back(i);
-    out.results.push_back(GrowingSpheresCounterfactual(
-        model, data.schema(), x, config, rng));
+    if (predictions[i] != config.target_class) out.indices.push_back(i);
   }
+  const Rng root = rng->Split();
+  out.results.resize(out.indices.size());
+  ParallelFor(0, out.indices.size(), [&](size_t k) {
+    const size_t i = out.indices[k];
+    Rng instance_rng = root.Fork(i);
+    out.results[k] = GrowingSpheresCounterfactual(
+        model, data.schema(), data.instance(i), config, &instance_rng);
+  });
   return out;
 }
 

@@ -2,20 +2,87 @@
 
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
+namespace {
+
+/// Packs a coalition mask into 64-bit words (the cache key).
+std::vector<uint64_t> PackMask(const std::vector<bool>& mask) {
+  std::vector<uint64_t> key((mask.size() + 63) / 64, 0);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) key[i / 64] |= uint64_t{1} << (i % 64);
+  }
+  return key;
+}
+
+}  // namespace
+
+size_t CoalitionCache::KeyHash::operator()(
+    const std::vector<uint64_t>& key) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t word : key) {
+    h ^= word;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<size_t>(h);
+}
+
+CoalitionCache::CoalitionCache(CoalitionValue fn, size_t players)
+    : fn_(std::move(fn)), players_(players) {
+  XFAIR_CHECK(fn_ != nullptr);
+  XFAIR_CHECK(players_ > 0);
+}
+
+double CoalitionCache::operator()(const std::vector<bool>& mask) {
+  XFAIR_CHECK(mask.size() == players_);
+  const std::vector<uint64_t> key = PackMask(mask);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock so expensive value functions (retraining a
+  // coalition model, scoring a background batch) run concurrently. A
+  // racing duplicate computes the identical value, so first-write-wins
+  // keeps the cache deterministic.
+  const double value = fn_(mask);
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++evaluations_;
+  cache_.emplace(key, value);
+  return cache_.find(key)->second;
+}
+
+size_t CoalitionCache::unique_coalitions() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return cache_.size();
+}
+
+size_t CoalitionCache::evaluations() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return evaluations_;
+}
+
+CoalitionValue CoalitionCache::AsValue() {
+  return [this](const std::vector<bool>& mask) { return (*this)(mask); };
+}
 
 Vector ExactShapley(const CoalitionValue& value, size_t d) {
   XFAIR_CHECK(d > 0);
   XFAIR_CHECK_MSG(d <= 20, "exact Shapley limited to 20 players");
   const size_t num_subsets = size_t{1} << d;
 
-  // Evaluate every coalition once.
+  // Evaluate every coalition once, fanned out across the pool. Each
+  // subset writes its own slot, so the fill order is irrelevant.
   Vector v(num_subsets);
-  std::vector<bool> mask(d);
-  for (size_t s = 0; s < num_subsets; ++s) {
-    for (size_t i = 0; i < d; ++i) mask[i] = (s >> i) & 1;
-    v[s] = value(mask);
-  }
+  ParallelForChunks(0, num_subsets, [&](const ChunkRange& chunk) {
+    std::vector<bool> mask(d);
+    for (size_t s = chunk.begin; s < chunk.end; ++s) {
+      for (size_t i = 0; i < d; ++i) mask[i] = (s >> i) & 1;
+      v[s] = value(mask);
+    }
+  });
 
   // Precompute weights w[k] = k! (d-k-1)! / d! for |S| = k.
   Vector log_fact(d + 1, 0.0);
@@ -27,46 +94,66 @@ Vector ExactShapley(const CoalitionValue& value, size_t d) {
         std::exp(log_fact[k] + log_fact[d - k - 1] - log_fact[d]);
   }
 
+  // One feature per task; each accumulates serially over subsets in
+  // ascending order — the same order for every thread count.
   Vector phi(d, 0.0);
-  for (size_t s = 0; s < num_subsets; ++s) {
-    const size_t k = static_cast<size_t>(__builtin_popcountll(s));
-    for (size_t i = 0; i < d; ++i) {
+  ParallelFor(0, d, [&](size_t i) {
+    double acc = 0.0;
+    for (size_t s = 0; s < num_subsets; ++s) {
       if ((s >> i) & 1) continue;  // i must be outside S.
-      phi[i] += weight[k] * (v[s | (size_t{1} << i)] - v[s]);
+      const size_t k = static_cast<size_t>(__builtin_popcountll(s));
+      acc += weight[k] * (v[s | (size_t{1} << i)] - v[s]);
     }
-  }
+    phi[i] = acc;
+  });
   return phi;
 }
 
 Vector SampledShapley(const CoalitionValue& value, size_t d,
-                      size_t permutations, Rng* rng) {
+                      size_t permutations, Rng* rng,
+                      SampledShapleyInfo* info) {
   XFAIR_CHECK(d > 0 && permutations > 0);
   XFAIR_CHECK(rng != nullptr);
-  Vector phi(d, 0.0);
-  std::vector<size_t> perm(d);
-  for (size_t i = 0; i < d; ++i) perm[i] = i;
-  size_t total = 0;
+  CoalitionCache cache(value, d);
 
-  auto accumulate = [&](const std::vector<size_t>& order) {
-    std::vector<bool> mask(d, false);
-    double prev = value(mask);
-    for (size_t i : order) {
-      mask[i] = true;
-      const double cur = value(mask);
-      phi[i] += cur - prev;
-      prev = cur;
-    }
-    ++total;
-  };
+  // Antithetic pairs: pair p walks permutation 2p forward and — if the
+  // budget allows — its reverse as permutation 2p+1. Each pair owns a
+  // forked Rng stream, so the permutations drawn do not depend on the
+  // thread count or on chunk boundaries.
+  const Rng root = rng->Split();
+  const size_t pairs = (permutations + 1) / 2;
 
-  for (size_t p = 0; p < (permutations + 1) / 2; ++p) {
-    rng->Shuffle(&perm);
-    accumulate(perm);
-    // Antithetic pass: the reversed permutation.
-    std::vector<size_t> rev(perm.rbegin(), perm.rend());
-    accumulate(rev);
+  Vector phi = ParallelReduceVector(
+      0, pairs, d, [&](const ChunkRange& chunk, Vector* acc) {
+        std::vector<size_t> perm(d);
+        std::vector<bool> mask(d);
+        auto walk = [&](const std::vector<size_t>& order) {
+          std::fill(mask.begin(), mask.end(), false);
+          double prev = cache(mask);
+          for (size_t i : order) {
+            mask[i] = true;
+            const double cur = cache(mask);
+            (*acc)[i] += cur - prev;
+            prev = cur;
+          }
+        };
+        for (size_t p = chunk.begin; p < chunk.end; ++p) {
+          Rng pair_rng = root.Fork(p);
+          for (size_t i = 0; i < d; ++i) perm[i] = i;
+          pair_rng.Shuffle(&perm);
+          walk(perm);
+          if (2 * p + 1 < permutations) {
+            const std::vector<size_t> rev(perm.rbegin(), perm.rend());
+            walk(rev);
+          }
+        }
+      });
+
+  for (double& x : phi) x /= static_cast<double>(permutations);
+  if (info != nullptr) {
+    info->permutations_used = permutations;
+    info->unique_coalitions = cache.unique_coalitions();
   }
-  for (double& x : phi) x /= static_cast<double>(total);
   return phi;
 }
 
@@ -76,13 +163,17 @@ Vector ShapExplainInstance(const Model& model, const Dataset& background,
   XFAIR_CHECK(x.size() == background.num_features());
   const size_t d = x.size();
   CoalitionValue value = [&](const std::vector<bool>& mask) {
-    double acc = 0.0;
+    // One batched prediction per coalition: background rows with the
+    // coalition's features overwritten by x.
+    Matrix z(background.size(), d);
     for (size_t b = 0; b < background.size(); ++b) {
-      Vector z = background.instance(b);
-      for (size_t c = 0; c < d; ++c)
-        if (mask[c]) z[c] = x[c];
-      acc += model.PredictProba(z);
+      const double* row = background.x().RowPtr(b);
+      double* out = z.RowPtr(b);
+      for (size_t c = 0; c < d; ++c) out[c] = mask[c] ? x[c] : row[c];
     }
+    const Vector proba = model.PredictProbaBatch(z);
+    double acc = 0.0;
+    for (double p : proba) acc += p;
     return acc / static_cast<double>(background.size());
   };
   if (d <= 10) return ExactShapley(value, d);

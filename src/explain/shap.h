@@ -6,11 +6,22 @@
 // sampling), plus the standard model-output instance explainer built on
 // top. The fairness explainers in src/unfair/ reuse the engine with their
 // own value functions, exactly as [81] replaces f_S with a fairness value.
+//
+// Both engines run on the deterministic parallel runtime (src/util/
+// parallel.h): coalition evaluations fan out across the thread pool, each
+// sampled permutation draws from its own forked Rng stream, and partial
+// attributions are combined in a fixed pairwise tree — so attributions
+// are bit-identical for every XFAIR_THREADS setting. A shared
+// CoalitionCache memoizes the (often expensive) value function on the
+// coalition bitmask, so no coalition is ever evaluated twice per run.
 
 #ifndef XFAIR_EXPLAIN_SHAP_H_
 #define XFAIR_EXPLAIN_SHAP_H_
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 
 #include "src/model/model.h"
 #include "src/util/rng.h"
@@ -18,23 +29,78 @@
 namespace xfair {
 
 /// Value of a coalition: the characteristic function v(S). The mask has
-/// one entry per player (feature); true = in the coalition.
+/// one entry per player (feature); true = in the coalition. Value
+/// functions handed to the engines must be pure (same mask -> same value)
+/// and safe to call concurrently.
 using CoalitionValue = std::function<double(const std::vector<bool>&)>;
 
+/// Memoizes a CoalitionValue on the coalition's bitmask. Thread-safe:
+/// lookups take a mutex, evaluation happens outside it (two threads
+/// racing on the same new mask both compute the same value, so results
+/// stay deterministic). Wrap a value function once and share the wrapper
+/// across engine calls — e.g. exact enumeration followed by v(empty) /
+/// v(full) queries — and nothing is recomputed.
+class CoalitionCache {
+ public:
+  /// `fn` is the underlying value function over `players` players.
+  CoalitionCache(CoalitionValue fn, size_t players);
+
+  /// Cached v(mask). mask.size() must equal players().
+  double operator()(const std::vector<bool>& mask);
+
+  size_t players() const { return players_; }
+  /// Distinct coalitions evaluated so far.
+  size_t unique_coalitions() const;
+  /// Underlying value-function invocations (== unique_coalitions except
+  /// for benign compute races under parallel execution).
+  size_t evaluations() const;
+
+  /// A CoalitionValue view of this cache (borrows; cache must outlive it).
+  CoalitionValue AsValue();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<uint64_t>& key) const;
+  };
+
+  CoalitionValue fn_;
+  size_t players_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::vector<uint64_t>, double, KeyHash> cache_;
+  size_t evaluations_ = 0;
+};
+
+/// Accounting for one SampledShapley run.
+struct SampledShapleyInfo {
+  /// Permutations actually walked — always equal to the `permutations`
+  /// argument (the antithetic pairing drops its mirror pass when the
+  /// budget is odd rather than overshooting by one).
+  size_t permutations_used = 0;
+  /// Distinct coalitions the value function was consulted for.
+  size_t unique_coalitions = 0;
+};
+
 /// Exact Shapley values by full subset enumeration. Cost O(2^d * d);
-/// requires d <= 20. Each subset's value is evaluated exactly once.
+/// requires d <= 20. Each subset's value is evaluated exactly once, in
+/// parallel across subsets.
 Vector ExactShapley(const CoalitionValue& value, size_t d);
 
 /// Monte Carlo Shapley via permutation sampling with antithetic pairs
-/// (each sampled permutation is also used reversed, halving variance).
-/// Cost O(permutations * d) value evaluations.
+/// (each sampled permutation is also used reversed, halving variance; an
+/// odd budget runs a forward-only final pass so exactly `permutations`
+/// permutations are walked). Cost O(permutations * d) coalition lookups,
+/// memoized through a CoalitionCache. Consumes one value from `rng` and
+/// forks an independent stream per antithetic pair, so results are
+/// bit-identical for every thread count.
 Vector SampledShapley(const CoalitionValue& value, size_t d,
-                      size_t permutations, Rng* rng);
+                      size_t permutations, Rng* rng,
+                      SampledShapleyInfo* info = nullptr);
 
 /// Standard SHAP-style instance explanation: the value of coalition S is
 /// the mean model output with features in S fixed to x and the rest taken
-/// from background rows. Returns one attribution per feature; they sum to
-/// f(x) - E_background[f] (efficiency property).
+/// from background rows (evaluated through PredictProbaBatch). Returns
+/// one attribution per feature; they sum to f(x) - E_background[f]
+/// (efficiency property).
 Vector ShapExplainInstance(const Model& model, const Dataset& background,
                            const Vector& x, size_t permutations, Rng* rng);
 

@@ -26,6 +26,23 @@ int GroupThresholdModel::Predict(const Vector& x) const {
   return base_->PredictProba(x) >= t ? 1 : 0;
 }
 
+Vector GroupThresholdModel::PredictProbaBatch(const Matrix& x) const {
+  return base_->PredictProbaBatch(x);
+}
+
+std::vector<int> GroupThresholdModel::PredictBatch(const Matrix& x) const {
+  XFAIR_CHECK(sensitive_index_ < x.cols());
+  const Vector scores = base_->PredictProbaBatch(x);
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double t = x.At(i, sensitive_index_) >= 0.5
+                         ? threshold_protected_
+                         : threshold_non_protected_;
+    out[i] = scores[i] >= t ? 1 : 0;
+  }
+  return out;
+}
+
 namespace {
 
 /// Counters for one (group, threshold) evaluation.

@@ -29,6 +29,8 @@ class GroupThresholdModel final : public Model {
 
   double PredictProba(const Vector& x) const override;
   int Predict(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
+  std::vector<int> PredictBatch(const Matrix& x) const override;
   std::string name() const override {
     return base_->name() + "+group-thresholds";
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 namespace {
 
@@ -127,6 +129,27 @@ int DecisionTree::Build(const Dataset& data, const Vector& weights,
 
 double DecisionTree::PredictProba(const Vector& x) const {
   return nodes_[static_cast<size_t>(LeafIndex(x))].proba;
+}
+
+double DecisionTree::PredictProbaRow(const double* row, size_t dim) const {
+  XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  int node = 0;
+  for (;;) {
+    const TreeNode& n = nodes_[static_cast<size_t>(node)];
+    if (n.feature < 0) return n.proba;
+    XFAIR_CHECK(static_cast<size_t>(n.feature) < dim);
+    node = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                              : n.right;
+  }
+}
+
+Vector DecisionTree::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    out[i] = PredictProbaRow(x.RowPtr(i), x.cols());
+  });
+  return out;
 }
 
 int DecisionTree::LeafIndex(const Vector& x) const {

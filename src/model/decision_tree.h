@@ -40,12 +40,16 @@ class DecisionTree final : public Model {
              const Vector& instance_weights = {});
 
   double PredictProba(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
   std::string name() const override { return "tree"; }
 
   bool fitted() const { return !nodes_.empty(); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   /// Index of the leaf that `x` routes to.
   int LeafIndex(const Vector& x) const;
+  /// Leaf probability for a raw row of `dim` features (no Vector copy);
+  /// the building block of batched ensemble prediction.
+  double PredictProbaRow(const double* row, size_t dim) const;
 
  private:
   int Build(const Dataset& data, const Vector& weights,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 namespace {
 
@@ -92,7 +94,7 @@ struct TreeBuilder {
   }
 };
 
-double TreeValue(const std::vector<GbmNode>& nodes, const Vector& x) {
+double TreeValue(const std::vector<GbmNode>& nodes, const double* x) {
   int id = 0;
   for (;;) {
     const GbmNode& n = nodes[static_cast<size_t>(id)];
@@ -136,7 +138,7 @@ Status GradientBoostedTrees::Fit(const Dataset& data,
     builder.Build(indices, 0);
     for (size_t i = 0; i < n; ++i) {
       margins[i] +=
-          learning_rate_ * TreeValue(builder.nodes, data.instance(i));
+          learning_rate_ * TreeValue(builder.nodes, data.x().RowPtr(i));
     }
     trees_.push_back(std::move(builder.nodes));
   }
@@ -145,14 +147,26 @@ Status GradientBoostedTrees::Fit(const Dataset& data,
 }
 
 double GradientBoostedTrees::Margin(const Vector& x) const {
+  return MarginRow(x.data());
+}
+
+double GradientBoostedTrees::MarginRow(const double* row) const {
   double m = bias_;
-  for (const auto& tree : trees_) m += learning_rate_ * TreeValue(tree, x);
+  for (const auto& tree : trees_) m += learning_rate_ * TreeValue(tree, row);
   return m;
 }
 
 double GradientBoostedTrees::PredictProba(const Vector& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   return Sigmoid(Margin(x));
+}
+
+Vector GradientBoostedTrees::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { out[i] = Sigmoid(MarginRow(x.RowPtr(i))); });
+  return out;
 }
 
 }  // namespace xfair

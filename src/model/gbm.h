@@ -36,6 +36,7 @@ class GradientBoostedTrees final : public Model {
   Status Fit(const Dataset& data, const GbmOptions& options = {});
 
   double PredictProba(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
   std::string name() const override { return "gbm"; }
 
   bool fitted() const { return fitted_; }
@@ -43,6 +44,7 @@ class GradientBoostedTrees final : public Model {
 
  private:
   double Margin(const Vector& x) const;
+  double MarginRow(const double* row) const;
 
   bool fitted_ = false;
   double bias_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 
 Status KnnClassifier::Fit(const Dataset& data) {
@@ -35,6 +37,14 @@ double KnnClassifier::PredictProba(const Vector& x) const {
   double pos = 0.0;
   for (size_t i : nn) pos += static_cast<double>(data_.label(i));
   return pos / static_cast<double>(nn.size());
+}
+
+Vector KnnClassifier::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { out[i] = PredictProba(x.Row(i)); });
+  return out;
 }
 
 }  // namespace xfair

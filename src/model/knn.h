@@ -18,6 +18,7 @@ class KnnClassifier final : public Model {
   Status Fit(const Dataset& data);
 
   double PredictProba(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
   std::string name() const override { return "knn"; }
 
   bool fitted() const { return fitted_; }

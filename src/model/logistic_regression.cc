@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 namespace {
 
@@ -95,6 +97,22 @@ double LogisticRegression::PredictProba(const Vector& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.size() == weights_.size());
   return Sigmoid(Dot(weights_, x) + bias_);
+}
+
+Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.cols() == weights_.size());
+  const size_t d = weights_.size();
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    // Same accumulation order as PredictProba (dot first, bias last) so
+    // batch and row-by-row scores are bit-identical.
+    const double* row = x.RowPtr(i);
+    double z = 0.0;
+    for (size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
+    out[i] = Sigmoid(z + bias_);
+  });
+  return out;
 }
 
 Vector LogisticRegression::ProbaGradient(const Vector& x) const {

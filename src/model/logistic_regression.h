@@ -33,6 +33,7 @@ class LogisticRegression final : public GradientModel {
              const Vector& instance_weights = {});
 
   double PredictProba(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
   Vector ProbaGradient(const Vector& x) const override;
   std::string name() const override { return "logreg"; }
 

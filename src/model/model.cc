@@ -1,18 +1,30 @@
 #include "src/model/model.h"
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 
-std::vector<int> Model::PredictAll(const Dataset& data) const {
-  std::vector<int> out(data.size());
-  for (size_t i = 0; i < data.size(); ++i) out[i] = Predict(data.instance(i));
+Vector Model::PredictProbaBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { out[i] = PredictProba(x.Row(i)); });
   return out;
 }
 
-Vector Model::PredictProbaAll(const Dataset& data) const {
-  Vector out(data.size());
-  for (size_t i = 0; i < data.size(); ++i)
-    out[i] = PredictProba(data.instance(i));
+std::vector<int> Model::PredictBatch(const Matrix& x) const {
+  const Vector proba = PredictProbaBatch(x);
+  std::vector<int> out(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i)
+    out[i] = proba[i] >= threshold_ ? 1 : 0;
   return out;
+}
+
+std::vector<int> Model::PredictAll(const Dataset& data) const {
+  return PredictBatch(data.x());
+}
+
+Vector Model::PredictProbaAll(const Dataset& data) const {
+  return PredictProbaBatch(data.x());
 }
 
 }  // namespace xfair

@@ -29,6 +29,20 @@ class Model {
     return PredictProba(x) >= threshold_ ? 1 : 0;
   }
 
+  /// P(y = 1 | row) for every row of `x` in one call. The batched entry
+  /// point every hot path (Shapley coalition evaluation, Gopher scans,
+  /// counterfactual search) goes through: overrides amortize virtual
+  /// dispatch, read rows in place via Matrix::RowPtr instead of copying
+  /// them into Vectors, and may parallelize across rows (each output is
+  /// written exactly once, so results are deterministic). The default
+  /// falls back to row-by-row PredictProba.
+  virtual Vector PredictProbaBatch(const Matrix& x) const;
+
+  /// Hard decisions for every row of `x`. The default thresholds
+  /// PredictProbaBatch; models with a custom Predict rule (e.g. per-group
+  /// thresholds) must override to match it.
+  virtual std::vector<int> PredictBatch(const Matrix& x) const;
+
   /// Hard decisions for every row of `data`.
   std::vector<int> PredictAll(const Dataset& data) const;
   /// Scores for every row of `data`.

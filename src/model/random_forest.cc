@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 
 Status RandomForest::Fit(const Dataset& data,
@@ -10,8 +12,6 @@ Status RandomForest::Fit(const Dataset& data,
   if (options.num_trees == 0)
     return Status::InvalidArgument("num_trees must be positive");
   trees_.clear();
-  trees_.reserve(options.num_trees);
-  Rng rng(options.seed);
   const size_t n = data.size();
   size_t max_features = options.max_features;
   if (max_features == 0) {
@@ -19,19 +19,28 @@ Status RandomForest::Fit(const Dataset& data,
         1, static_cast<size_t>(
                std::sqrt(static_cast<double>(data.num_features()))));
   }
-  for (size_t t = 0; t < options.num_trees; ++t) {
+  // Every tree draws its bootstrap and split randomness from its own
+  // forked stream, so the fitted forest is identical no matter how many
+  // threads fit it (or in which order the trees finish).
+  const Rng root(options.seed);
+  std::vector<DecisionTree> trees(options.num_trees);
+  std::vector<Status> statuses(options.num_trees, Status::OK());
+  ParallelFor(0, options.num_trees, [&](size_t t) {
+    Rng tree_rng = root.Fork(t);
     // Bootstrap resample expressed as instance weights (multiplicities).
     Vector weights(n, 0.0);
-    for (size_t i = 0; i < n; ++i) weights[rng.Below(n)] += 1.0;
+    for (size_t i = 0; i < n; ++i) weights[tree_rng.Below(n)] += 1.0;
     DecisionTreeOptions tree_opts;
     tree_opts.max_depth = options.max_depth;
     tree_opts.min_samples_leaf = options.min_samples_leaf;
     tree_opts.max_features = max_features;
-    tree_opts.feature_seed = rng.Next();
-    DecisionTree tree;
-    XFAIR_RETURN_IF_ERROR(tree.Fit(data, tree_opts, weights));
-    trees_.push_back(std::move(tree));
+    tree_opts.feature_seed = tree_rng.Next();
+    statuses[t] = trees[t].Fit(data, tree_opts, weights);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
+  trees_ = std::move(trees);
   return Status::OK();
 }
 
@@ -40,6 +49,18 @@ double RandomForest::PredictProba(const Vector& x) const {
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree.PredictProba(x);
   return acc / static_cast<double>(trees_.size());
+}
+
+Vector RandomForest::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  Vector out(x.rows());
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    const double* row = x.RowPtr(i);
+    double acc = 0.0;
+    for (const auto& tree : trees_) acc += tree.PredictProbaRow(row, x.cols());
+    out[i] = acc / static_cast<double>(trees_.size());
+  });
+  return out;
 }
 
 }  // namespace xfair

@@ -27,6 +27,7 @@ class RandomForest final : public Model {
   Status Fit(const Dataset& data, const RandomForestOptions& options = {});
 
   double PredictProba(const Vector& x) const override;
+  Vector PredictProbaBatch(const Matrix& x) const override;
   std::string name() const override { return "forest"; }
 
   bool fitted() const { return !trees_.empty(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace xfair {
 
 Status SoftmaxRegression::Fit(const Matrix& x,
@@ -115,6 +117,24 @@ int SoftmaxRegression::Predict(const Vector& x) const {
   const Vector probs = PredictProba(x);
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+Matrix SoftmaxRegression::PredictProbaBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.cols() == weights_.cols());
+  Matrix out(x.rows(), num_classes_);
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    const Vector probs = PredictProba(x.Row(i));
+    out.SetRow(i, probs);
+  });
+  return out;
+}
+
+std::vector<int> SoftmaxRegression::PredictBatch(const Matrix& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  std::vector<int> out(x.rows());
+  ParallelFor(0, x.rows(), [&](size_t i) { out[i] = Predict(x.Row(i)); });
+  return out;
 }
 
 Vector MulticlassParityProfile(const SoftmaxRegression& model,

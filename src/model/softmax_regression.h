@@ -35,8 +35,13 @@ class SoftmaxRegression {
 
   /// Class probability vector (sums to 1).
   Vector PredictProba(const Vector& x) const;
+  /// Row-per-instance class probabilities for every row of `x` in one
+  /// batched (and row-parallel) call; row i equals PredictProba(row i).
+  Matrix PredictProbaBatch(const Matrix& x) const;
   /// Argmax class.
   int Predict(const Vector& x) const;
+  /// Argmax class for every row of `x`.
+  std::vector<int> PredictBatch(const Matrix& x) const;
 
  private:
   bool fitted_ = false;

@@ -2,22 +2,43 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "src/explain/influence.h"
 #include "src/fairness/group_metrics.h"
+#include "src/util/parallel.h"
 
 namespace xfair {
 namespace {
 
 using Conditions = std::vector<std::pair<size_t, size_t>>;
 
-bool Matches(const Discretizer& disc, const Dataset& data, size_t i,
-             const Conditions& conditions) {
-  for (const auto& [f, b] : conditions) {
-    if (disc.BinOf(f, data.x().At(i, f)) != b) return false;
+/// Instance-major table of discretized bins, computed once so the apriori
+/// scan does array compares instead of re-binning every (row, condition)
+/// pair.
+class BinTable {
+ public:
+  BinTable(const Discretizer& disc, const Dataset& data)
+      : n_(data.size()), d_(data.num_features()), bins_(n_ * d_) {
+    ParallelFor(0, n_, [&](size_t i) {
+      for (size_t f = 0; f < d_; ++f) {
+        bins_[i * d_ + f] =
+            static_cast<uint16_t>(disc.BinOf(f, data.x().At(i, f)));
+      }
+    });
   }
-  return true;
-}
+
+  bool Matches(size_t i, const Conditions& conditions) const {
+    for (const auto& [f, b] : conditions) {
+      if (bins_[i * d_ + f] != b) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t n_, d_;
+  std::vector<uint16_t> bins_;
+};
 
 std::string Describe(const Discretizer& disc, const Schema& schema,
                      const Conditions& conditions) {
@@ -44,6 +65,7 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
   const Vector influence = analyzer.InfluenceOnParityGap(train);
 
   Discretizer disc(train, options.bins);
+  const BinTable bins(disc, train);
   const size_t n = train.size();
   const size_t min_count = std::max<size_t>(
       1, static_cast<size_t>(options.min_support * static_cast<double>(n)));
@@ -61,25 +83,37 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
   std::vector<Conditions> current;
   for (const auto& cand : singles) current.push_back(cand);
   for (size_t depth = 1; depth <= options.max_conditions; ++depth) {
-    std::vector<Conditions> next;
-    for (const auto& cand : current) {
+    // Score every candidate in parallel; each writes only its own slot,
+    // and the per-candidate influence sum runs in ascending row order,
+    // so the scores do not depend on the thread count.
+    std::vector<size_t> supports(current.size(), 0);
+    Vector estimates(current.size(), 0.0);
+    ParallelFor(0, current.size(), [&](size_t ci) {
+      const Conditions& cand = current[ci];
       size_t support = 0;
       double est = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        if (!Matches(disc, train, i, cand)) continue;
+        if (!bins.Matches(i, cand)) continue;
         ++support;
         est += influence[i];
       }
-      if (support < min_count) continue;
+      supports[ci] = support;
+      estimates[ci] = est;
+    });
+    // Collect the frequent and scored patterns in candidate order.
+    std::vector<Conditions> next;
+    for (size_t ci = 0; ci < current.size(); ++ci) {
+      const Conditions& cand = current[ci];
+      if (supports[ci] < min_count) continue;
       next.push_back(cand);  // Frequent: extendable at the next depth.
-      if (support > max_count) continue;
+      if (supports[ci] > max_count) continue;
       GopherPattern p;
       p.conditions = cand;
       p.description = Describe(disc, train.schema(), cand);
-      p.support = support;
-      p.estimated_gap_change = est;
+      p.support = supports[ci];
+      p.estimated_gap_change = estimates[ci];
       p.interestingness =
-          std::fabs(est) / static_cast<double>(support);
+          std::fabs(estimates[ci]) / static_cast<double>(supports[ci]);
       scored.push_back(std::move(p));
     }
     if (depth == options.max_conditions) break;
@@ -105,19 +139,21 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
             });
   if (scored.size() > options.top_k) scored.resize(options.top_k);
 
-  // Verify by actual retraining without the pattern's subset.
-  for (auto& p : scored) {
+  // Verify by actual retraining without the pattern's subset. Each
+  // retrain is independent; fan them out.
+  ParallelFor(0, scored.size(), [&](size_t pi) {
+    GopherPattern& p = scored[pi];
     std::vector<size_t> keep;
     for (size_t i = 0; i < n; ++i)
-      if (!Matches(disc, train, i, p.conditions)) keep.push_back(i);
-    if (keep.size() < train.num_features() + 2) continue;
+      if (!bins.Matches(i, p.conditions)) keep.push_back(i);
+    if (keep.size() < train.num_features() + 2) return;
     Dataset reduced = train.Subset(keep);
     LogisticRegression retrained;
-    if (!retrained.Fit(reduced).ok()) continue;
+    if (!retrained.Fit(reduced).ok()) return;
     p.verified_gap_change =
         StatisticalParityDifference(retrained, train) - report.original_gap;
     p.verified = true;
-  }
+  });
   report.patterns = std::move(scored);
   return report;
 }

@@ -1,0 +1,250 @@
+#include "src/util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/util/check.h"
+
+namespace xfair {
+namespace {
+
+thread_local bool t_in_worker = false;
+thread_local bool t_in_run = false;
+
+/// Worker count from XFAIR_THREADS (0/unset/garbage -> hardware).
+size_t ThreadsFromEnvironment() {
+  const char* env = std::getenv("XFAIR_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+/// Global pool. One job runs at a time; workers pull task indices from a
+/// shared atomic counter, so scheduling is dynamic but (by construction
+/// of the chunking and reductions above it) results are not affected by
+/// which worker runs which chunk. Nested calls — from a worker or from a
+/// loop body on the calling thread — run inline.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool(ThreadsFromEnvironment());
+    return *pool;
+  }
+
+  size_t num_threads() {
+    std::lock_guard<std::mutex> guard(config_mutex_);
+    return num_threads_;
+  }
+
+  void Resize(size_t n) {
+    if (n == 0) n = ThreadsFromEnvironment();
+    std::lock_guard<std::mutex> guard(config_mutex_);
+    if (n == num_threads_) return;
+    StopWorkers();
+    num_threads_ = n;
+    StartWorkers();
+  }
+
+  /// Runs task(0), ..., task(count - 1), blocking until all complete.
+  /// The calling thread participates.
+  void Run(size_t count, const std::function<void(size_t)>& task) {
+    if (count == 0) return;
+    if (t_in_worker || t_in_run) {
+      for (size_t i = 0; i < count; ++i) task(i);
+      return;
+    }
+    std::lock_guard<std::mutex> config_guard(config_mutex_);
+    t_in_run = true;
+    if (num_threads_ <= 1 || count <= 1) {
+      for (size_t i = 0; i < count; ++i) task(i);
+      t_in_run = false;
+      return;
+    }
+    // Shared ownership: a worker that observed the job may touch its
+    // counters slightly after the last task completes; the control block
+    // must outlive every such access.
+    auto job = std::make_shared<Job>();
+    job->task = &task;
+    job->count = count;
+    {
+      std::lock_guard<std::mutex> guard(job_mutex_);
+      job_ = job;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    Drain(*job);  // Caller works too.
+    {
+      std::unique_lock<std::mutex> lock(job->done_mutex);
+      job->done_cv.wait(lock, [&job] {
+        return job->done.load(std::memory_order_acquire) >= job->count;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> guard(job_mutex_);
+      job_.reset();
+    }
+    t_in_run = false;
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  explicit ThreadPool(size_t n) : num_threads_(n) { StartWorkers(); }
+
+  void StartWorkers() {
+    // num_threads_ includes the caller; spawn one fewer.
+    for (size_t w = 0; w + 1 < num_threads_; ++w) {
+      workers_.emplace_back([this](std::stop_token stop) {
+        t_in_worker = true;
+        uint64_t seen_generation = 0;
+        for (;;) {
+          std::shared_ptr<Job> job;
+          {
+            std::unique_lock<std::mutex> lock(job_mutex_);
+            job_cv_.wait(lock, stop, [this, seen_generation] {
+              return job_ != nullptr && generation_ != seen_generation;
+            });
+            if (stop.stop_requested()) return;
+            seen_generation = generation_;
+            job = job_;
+          }
+          Drain(*job);
+        }
+      });
+    }
+  }
+
+  void StopWorkers() {
+    for (auto& worker : workers_) worker.request_stop();
+    job_cv_.notify_all();
+    workers_.clear();  // jthread joins on destruction.
+  }
+
+  static void Drain(Job& job) {
+    for (;;) {
+      const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.count) return;
+      (*job.task)(i);
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.count) {
+        std::lock_guard<std::mutex> guard(job.done_mutex);
+        job.done_cv.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mutex_;  // Serializes Run/Resize; one job at a time.
+  size_t num_threads_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex job_mutex_;
+  std::condition_variable_any job_cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+std::vector<ChunkRange> DeterministicChunks(size_t begin, size_t end) {
+  XFAIR_CHECK(begin <= end);
+  const size_t n = end - begin;
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  const size_t count = n < kMaxChunks ? n : kMaxChunks;
+  chunks.reserve(count);
+  const size_t base = n / count;
+  const size_t extra = n % count;  // First `extra` chunks get one more.
+  size_t at = begin;
+  for (size_t c = 0; c < count; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    chunks.push_back({at, at + len, c});
+    at += len;
+  }
+  XFAIR_CHECK(at == end);
+  return chunks;
+}
+
+size_t ParallelThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetParallelThreads(size_t n) { ThreadPool::Instance().Resize(n); }
+
+bool InParallelWorker() { return t_in_worker; }
+
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(const ChunkRange&)>& body) {
+  const std::vector<ChunkRange> chunks = DeterministicChunks(begin, end);
+  if (chunks.empty()) return;
+  if (chunks.size() == 1) {
+    body(chunks[0]);
+    return;
+  }
+  ThreadPool::Instance().Run(chunks.size(),
+                             [&](size_t c) { body(chunks[c]); });
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body) {
+  ParallelForChunks(begin, end, [&body](const ChunkRange& chunk) {
+    for (size_t i = chunk.begin; i < chunk.end; ++i) body(i);
+  });
+}
+
+double PairwiseSum(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  for (size_t width = 1; width < v.size(); width *= 2) {
+    for (size_t i = 0; i + width < v.size(); i += 2 * width) {
+      v[i] += v[i + width];
+    }
+  }
+  return v[0];
+}
+
+double ParallelReduceSum(size_t begin, size_t end,
+                         const std::function<double(size_t)>& term) {
+  const std::vector<ChunkRange> chunks = DeterministicChunks(begin, end);
+  if (chunks.empty()) return 0.0;
+  std::vector<double> partials(chunks.size(), 0.0);
+  ParallelForChunks(begin, end, [&](const ChunkRange& chunk) {
+    double acc = 0.0;
+    for (size_t i = chunk.begin; i < chunk.end; ++i) acc += term(i);
+    partials[chunk.index] = acc;
+  });
+  return PairwiseSum(std::move(partials));
+}
+
+Vector ParallelReduceVector(
+    size_t begin, size_t end, size_t dim,
+    const std::function<void(const ChunkRange&, Vector*)>& partial) {
+  const std::vector<ChunkRange> chunks = DeterministicChunks(begin, end);
+  Vector out(dim, 0.0);
+  if (chunks.empty()) return out;
+  std::vector<Vector> partials(chunks.size());
+  ParallelForChunks(begin, end, [&](const ChunkRange& chunk) {
+    Vector acc(dim, 0.0);
+    partial(chunk, &acc);
+    partials[chunk.index] = std::move(acc);
+  });
+  std::vector<double> column(chunks.size());
+  for (size_t c = 0; c < dim; ++c) {
+    for (size_t k = 0; k < partials.size(); ++k) column[k] = partials[k][c];
+    out[c] = PairwiseSum(column);
+  }
+  return out;
+}
+
+}  // namespace xfair

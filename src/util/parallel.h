@@ -1,0 +1,97 @@
+// Deterministic parallel runtime.
+//
+// A lazily-initialized global pool of std::jthread workers runs chunked
+// loops and reductions. The cardinal rule: results are bit-identical for
+// every thread count, including the serial fallback. That is achieved by
+// making all work decomposition a pure function of the *range size* —
+// never of the thread count — and by reducing partial results in a fixed
+// pairwise tree:
+//
+//   * A range [begin, end) is always split into the same chunks
+//     (DeterministicChunks), whether 1 or 64 threads execute them.
+//   * Each chunk is processed serially in ascending index order.
+//   * ParallelReduceSum accumulates one partial per chunk and combines the
+//     partials with PairwiseSum, so floating-point rounding is identical
+//     regardless of which thread computed which chunk.
+//   * Stochastic loop bodies draw from per-chunk (or per-item) Rng streams
+//     obtained via Rng::Fork(index) instead of sharing one sequential
+//     stream.
+//
+// The worker count comes from the XFAIR_THREADS environment variable at
+// first use (default: hardware concurrency); SetParallelThreads overrides
+// it at runtime. At 1 thread everything runs inline on the caller with no
+// synchronization. Nested ParallelFor calls from inside a worker run
+// inline, so library code can parallelize freely without deadlock.
+
+#ifndef XFAIR_UTIL_PARALLEL_H_
+#define XFAIR_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/util/matrix.h"
+
+namespace xfair {
+
+/// One chunk of a deterministically-split range.
+struct ChunkRange {
+  size_t begin = 0;  ///< First index (inclusive).
+  size_t end = 0;    ///< Past-the-end index.
+  size_t index = 0;  ///< Chunk ordinal; stable across thread counts.
+};
+
+/// Splits [begin, end) into at most kMaxChunks near-equal chunks. The
+/// split depends only on the range, never on the thread count — the
+/// foundation of the determinism guarantee.
+std::vector<ChunkRange> DeterministicChunks(size_t begin, size_t end);
+
+/// Upper bound on chunks per range (and so on per-call task count).
+inline constexpr size_t kMaxChunks = 64;
+
+/// Worker threads the global pool is configured for (>= 1). Reads
+/// XFAIR_THREADS on first use; 0 or unset means hardware concurrency.
+size_t ParallelThreads();
+
+/// Reconfigures the pool to `n` workers (0 = re-read XFAIR_THREADS /
+/// hardware default). Joins existing workers; must not be called
+/// concurrently with a running parallel loop. Intended for tests and
+/// benchmarks.
+void SetParallelThreads(size_t n);
+
+/// True when the calling thread is a pool worker (nested loops inline).
+bool InParallelWorker();
+
+/// Calls body(i) exactly once for every i in [begin, end), in parallel
+/// across chunks. Each chunk runs its indices in ascending order. The
+/// body must only write to caller-disjoint state per index.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body);
+
+/// Chunk-granular variant: body(chunk) is called exactly once per chunk
+/// of DeterministicChunks(begin, end). Use when the body wants per-chunk
+/// scratch buffers or a per-chunk Rng stream (root.Fork(chunk.index)).
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(const ChunkRange&)>& body);
+
+/// Sum of v in a fixed pairwise (binary-tree) order. Deterministic for a
+/// given v regardless of threads; used to combine per-chunk partials.
+double PairwiseSum(std::vector<double> v);
+
+/// Sum of term(i) over [begin, end): per-chunk serial accumulation plus a
+/// pairwise tree over the chunk partials. Bit-identical for every thread
+/// count (the serial path runs the same chunked algorithm).
+double ParallelReduceSum(size_t begin, size_t end,
+                         const std::function<double(size_t)>& term);
+
+/// Elementwise vector reduction: returns the per-coordinate sum of
+/// partial(i) over [begin, end) chunks. `partial` fills its chunk's
+/// accumulator (size `dim`, zero-initialized); the per-chunk vectors are
+/// combined coordinate-wise with PairwiseSum.
+Vector ParallelReduceVector(
+    size_t begin, size_t end, size_t dim,
+    const std::function<void(const ChunkRange&, Vector*)>& partial);
+
+}  // namespace xfair
+
+#endif  // XFAIR_UTIL_PARALLEL_H_

@@ -116,4 +116,17 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the (unmodified) state words with the stream index through
+  // splitmix64 so nearby stream numbers land in unrelated seeds.
+  uint64_t h = 0x6a09e667f3bcc909ULL ^ stream;
+  h = SplitMix64(&h);
+  for (uint64_t s : state_) {
+    uint64_t mixed = h ^ s;
+    h = SplitMix64(&mixed);
+  }
+  uint64_t final_mix = h ^ stream;
+  return Rng(SplitMix64(&final_mix));
+}
+
 }  // namespace xfair

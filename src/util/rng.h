@@ -64,8 +64,15 @@ class Rng {
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// A fresh Rng whose stream is independent of this one (for spawning
-  /// per-worker or per-component generators).
+  /// per-worker or per-component generators). Advances this generator.
   Rng Split();
+
+  /// Deterministic child stream number `stream`, derived from the current
+  /// state WITHOUT advancing it: Fork(i) always yields the same generator
+  /// for a given state, and distinct `stream` values yield independent
+  /// streams. This is how parallel loops get per-chunk (or per-item)
+  /// randomness that is identical for every thread count.
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,367 @@
+// Tests for the deterministic parallel runtime (src/util/parallel.h) and
+// the guarantees built on it: exactly-once loop coverage, bit-for-bit
+// reductions, thread-count-independent Shapley / Gopher / forest /
+// counterfactual results, and batched inference consistency.
+
+#include "src/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/data/generators.h"
+#include "src/explain/counterfactual.h"
+#include "src/explain/shap.h"
+#include "src/model/decision_tree.h"
+#include "src/model/gbm.h"
+#include "src/model/knn.h"
+#include "src/model/logistic_regression.h"
+#include "src/model/random_forest.h"
+#include "src/model/softmax_regression.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/unfair/gopher.h"
+#include "src/util/rng.h"
+
+namespace xfair {
+namespace {
+
+/// Restores the pool to its environment-default size when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { SetParallelThreads(0); }
+};
+
+/// Runs `fn` under each thread count and checks all results against the
+/// first (serial) run with an exact-equality comparator.
+template <typename T, typename Fn>
+void ExpectSameAcrossThreadCounts(Fn fn,
+                                  const std::function<void(const T&, const T&)>&
+                                      expect_equal) {
+  ThreadGuard guard;
+  SetParallelThreads(1);
+  const T serial = fn();
+  for (size_t threads : {2, 8}) {
+    SetParallelThreads(threads);
+    const T parallel = fn();
+    expect_equal(serial, parallel);
+  }
+}
+
+TEST(DeterministicChunks, PartitionsRangeExactly) {
+  for (size_t n : {0u, 1u, 5u, 64u, 65u, 1000u}) {
+    const auto chunks = DeterministicChunks(10, 10 + n);
+    size_t covered = 0;
+    size_t expect_begin = 10;
+    for (const auto& chunk : chunks) {
+      EXPECT_EQ(chunk.begin, expect_begin);
+      EXPECT_LT(chunk.begin, chunk.end);
+      covered += chunk.end - chunk.begin;
+      expect_begin = chunk.end;
+    }
+    EXPECT_EQ(covered, n);
+    if (n > 0) {
+      EXPECT_EQ(chunks.back().end, 10 + n);
+    }
+    EXPECT_LE(chunks.size(), kMaxChunks);
+  }
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadGuard guard;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    for (size_t n : {0u, 1u, 7u, 64u, 513u}) {
+      auto counts = std::make_unique<std::atomic<int>[]>(n);
+      for (size_t i = 0; i < n; ++i) counts[i] = 0;
+      ParallelFor(100, 100 + n, [&](size_t i) {
+        ASSERT_GE(i, 100u);
+        ASSERT_LT(i, 100 + n);
+        counts[i - 100].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i << " of " << n;
+      }
+    }
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialSumBitForBit) {
+  auto term = [](size_t i) {
+    return std::sin(static_cast<double>(i)) * 1e-3 + 1.0 / (1.0 + i);
+  };
+  ExpectSameAcrossThreadCounts<double>(
+      [&] { return ParallelReduceSum(0, 3001, term); },
+      [](const double& a, const double& b) { EXPECT_EQ(a, b); });
+}
+
+TEST(ParallelReduce, EmptyRangeIsZero) {
+  EXPECT_EQ(ParallelReduceSum(5, 5, [](size_t) { return 1.0; }), 0.0);
+}
+
+TEST(RngFork, IsStableAndDoesNotAdvanceParent) {
+  Rng a(42);
+  Rng fork_early = a.Fork(3);
+  const uint64_t next_after_fork = a.Next();
+  Rng b(42);
+  const uint64_t next_without_fork = b.Next();
+  EXPECT_EQ(next_after_fork, next_without_fork)
+      << "Fork must not advance the parent stream";
+  Rng c(42);
+  Rng fork_again = c.Fork(3);
+  EXPECT_EQ(fork_early.Next(), fork_again.Next());
+}
+
+TEST(RngFork, DistinctStreamsDiffer) {
+  Rng root(7);
+  Rng s0 = root.Fork(0);
+  Rng s1 = root.Fork(1);
+  bool any_different = false;
+  for (int i = 0; i < 8; ++i) any_different |= (s0.Next() != s1.Next());
+  EXPECT_TRUE(any_different);
+}
+
+CoalitionValue RandomGame(Vector* table, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  table->assign(size_t{1} << d, 0.0);
+  for (double& v : *table) v = rng.Uniform(-1, 1);
+  return [table, d](const std::vector<bool>& mask) {
+    size_t s = 0;
+    for (size_t i = 0; i < d; ++i)
+      if (mask[i]) s |= (size_t{1} << i);
+    return (*table)[s];
+  };
+}
+
+TEST(ParallelShapley, ExactIsThreadCountInvariant) {
+  Vector table;
+  CoalitionValue v = RandomGame(&table, 9, 91);
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] { return ExactShapley(v, 9); },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(ParallelShapley, SampledIsThreadCountInvariant) {
+  Vector table;
+  CoalitionValue v = RandomGame(&table, 12, 92);
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        Rng rng(93);
+        return SampledShapley(v, 12, 201, &rng);
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(SampledShapley, OddPermutationBudgetIsExact) {
+  // Regression: the antithetic pairing used to walk permutations in
+  // strict pairs, overshooting an odd budget by one; the final pass must
+  // be forward-only so the accounting matches the request.
+  Vector table;
+  CoalitionValue v = RandomGame(&table, 6, 94);
+  for (size_t permutations : {1u, 2u, 7u, 8u, 201u}) {
+    Rng rng(95);
+    SampledShapleyInfo info;
+    const Vector phi = SampledShapley(v, 6, permutations, &rng, &info);
+    EXPECT_EQ(info.permutations_used, permutations);
+    EXPECT_GT(info.unique_coalitions, 0u);
+    // Efficiency holds exactly per walked permutation, so a correct
+    // denominator makes the attributions sum to v(full) - v(empty).
+    double sum = 0.0;
+    for (double p : phi) sum += p;
+    EXPECT_NEAR(sum, table[table.size() - 1] - table[0], 1e-9)
+        << "permutations=" << permutations;
+  }
+}
+
+TEST(CoalitionCache, NeverEvaluatesTwice) {
+  size_t calls = 0;
+  CoalitionValue counted = [&calls](const std::vector<bool>& mask) {
+    ++calls;
+    double acc = 0.0;
+    for (size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) acc += static_cast<double>(i + 1);
+    return acc;
+  };
+  CoalitionCache cache(counted, 5);
+  std::vector<bool> a{true, false, true, false, false};
+  std::vector<bool> b{false, true, false, false, true};
+  EXPECT_EQ(cache(a), 4.0);
+  EXPECT_EQ(cache(a), 4.0);
+  EXPECT_EQ(cache(b), 7.0);
+  EXPECT_EQ(cache(a), 4.0);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(cache.unique_coalitions(), 2u);
+  EXPECT_EQ(cache.evaluations(), 2u);
+}
+
+TEST(ParallelUnfair, FairnessShapIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 501);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  ExpectSameAcrossThreadCounts<FairnessShapReport>(
+      [&] { return ExplainParityWithShapley(model, data, {}); },
+      [](const FairnessShapReport& a, const FairnessShapReport& b) {
+        ASSERT_EQ(a.contributions.size(), b.contributions.size());
+        for (size_t i = 0; i < a.contributions.size(); ++i)
+          EXPECT_EQ(a.contributions[i], b.contributions[i]);
+        EXPECT_EQ(a.ranked_features, b.ranked_features);
+        EXPECT_EQ(a.baseline_gap, b.baseline_gap);
+        EXPECT_EQ(a.full_gap, b.full_gap);
+      });
+}
+
+TEST(ParallelUnfair, GopherTopKIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 502);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  GopherOptions opts;
+  opts.top_k = 4;
+  ExpectSameAcrossThreadCounts<GopherReport>(
+      [&] {
+        auto report = ExplainUnfairnessByPatterns(model, data, opts);
+        XFAIR_CHECK(report.ok());
+        return *report;
+      },
+      [](const GopherReport& a, const GopherReport& b) {
+        ASSERT_EQ(a.patterns.size(), b.patterns.size());
+        EXPECT_EQ(a.patterns_examined, b.patterns_examined);
+        for (size_t i = 0; i < a.patterns.size(); ++i) {
+          EXPECT_EQ(a.patterns[i].description, b.patterns[i].description);
+          EXPECT_EQ(a.patterns[i].support, b.patterns[i].support);
+          EXPECT_EQ(a.patterns[i].estimated_gap_change,
+                    b.patterns[i].estimated_gap_change);
+          EXPECT_EQ(a.patterns[i].verified, b.patterns[i].verified);
+          EXPECT_EQ(a.patterns[i].verified_gap_change,
+                    b.patterns[i].verified_gap_change);
+        }
+      });
+}
+
+TEST(ParallelModel, ForestFitIsThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(300, 503);
+  Dataset probe = CreditGen().Generate(50, 504);
+  RandomForestOptions opts;
+  opts.num_trees = 16;
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        RandomForest forest;
+        XFAIR_CHECK(forest.Fit(data, opts).ok());
+        return forest.PredictProbaBatch(probe.x());
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(ParallelExplain, GroupCounterfactualsAreThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(120, 505);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  using Out = std::pair<std::vector<size_t>, std::vector<Vector>>;
+  ExpectSameAcrossThreadCounts<Out>(
+      [&] {
+        Rng rng(506);
+        auto group = CounterfactualsForNegatives(model, data, {}, &rng);
+        std::vector<Vector> cfs;
+        for (const auto& r : group.results) cfs.push_back(r.counterfactual);
+        return Out{group.indices, cfs};
+      },
+      [](const Out& a, const Out& b) {
+        EXPECT_EQ(a.first, b.first);
+        ASSERT_EQ(a.second.size(), b.second.size());
+        for (size_t i = 0; i < a.second.size(); ++i)
+          EXPECT_EQ(a.second[i], b.second[i]);
+      });
+}
+
+// --- batched inference consistency -----------------------------------
+
+class BatchConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { data_ = CreditGen().Generate(200, 601); }
+
+  void ExpectBatchMatchesRows(const Model& model) {
+    const Vector batch = model.PredictProbaBatch(data_.x());
+    ASSERT_EQ(batch.size(), data_.size());
+    for (size_t i = 0; i < data_.size(); ++i) {
+      EXPECT_EQ(batch[i], model.PredictProba(data_.instance(i)))
+          << model.name() << " row " << i;
+    }
+    const std::vector<int> decisions = model.PredictBatch(data_.x());
+    for (size_t i = 0; i < data_.size(); ++i) {
+      EXPECT_EQ(decisions[i], model.Predict(data_.instance(i)))
+          << model.name() << " row " << i;
+    }
+  }
+
+  Dataset data_;
+};
+
+TEST_F(BatchConsistencyTest, LogisticRegression) {
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data_).ok());
+  ExpectBatchMatchesRows(model);
+}
+
+TEST_F(BatchConsistencyTest, DecisionTree) {
+  DecisionTree model;
+  ASSERT_TRUE(model.Fit(data_).ok());
+  ExpectBatchMatchesRows(model);
+}
+
+TEST_F(BatchConsistencyTest, RandomForest) {
+  RandomForest model;
+  RandomForestOptions opts;
+  opts.num_trees = 10;
+  ASSERT_TRUE(model.Fit(data_, opts).ok());
+  ExpectBatchMatchesRows(model);
+}
+
+TEST_F(BatchConsistencyTest, GradientBoostedTrees) {
+  GradientBoostedTrees model;
+  GbmOptions opts;
+  opts.num_rounds = 20;
+  ASSERT_TRUE(model.Fit(data_, opts).ok());
+  ExpectBatchMatchesRows(model);
+}
+
+TEST_F(BatchConsistencyTest, Knn) {
+  KnnClassifier model(5);
+  ASSERT_TRUE(model.Fit(data_).ok());
+  ExpectBatchMatchesRows(model);
+}
+
+TEST_F(BatchConsistencyTest, SoftmaxRegression) {
+  MulticlassCredit mc = GenerateMulticlassCredit(200, 0.8, 602);
+  SoftmaxRegression model;
+  ASSERT_TRUE(model.Fit(mc.x, mc.labels, 3).ok());
+  const Matrix batch = model.PredictProbaBatch(mc.x);
+  ASSERT_EQ(batch.rows(), mc.x.rows());
+  for (size_t i = 0; i < mc.x.rows(); ++i) {
+    const Vector row = model.PredictProba(mc.x.Row(i));
+    ASSERT_EQ(batch.cols(), row.size());
+    for (size_t k = 0; k < row.size(); ++k)
+      EXPECT_EQ(batch.At(i, k), row[k]) << "row " << i << " class " << k;
+  }
+  const std::vector<int> decisions = model.PredictBatch(mc.x);
+  for (size_t i = 0; i < mc.x.rows(); ++i)
+    EXPECT_EQ(decisions[i], model.Predict(mc.x.Row(i)));
+}
+
+}  // namespace
+}  // namespace xfair
