@@ -17,6 +17,7 @@
 #include "src/causal/worlds.h"
 #include "src/data/generators.h"
 #include "src/explain/shap.h"
+#include "src/model/decision_tree.h"
 #include "src/model/logistic_regression.h"
 #include "src/unfair/causal_path.h"
 #include "src/unfair/fairness_shap.h"
@@ -116,17 +117,28 @@ void PrintOnce() {
                 t.ToString().c_str());
   }
 
-  // Serial vs parallel wall time of the masking-mode hot path, written
-  // to BENCH_fairness_shap.json.
+  // Generic coalition enumeration vs the interventional-TreeSHAP fast
+  // path on a tree model (same game, same attributions), written to
+  // BENCH_fairness_shap.json.
   {
     BiasConfig cfg;
     cfg.score_shift = 1.0;
     Dataset data = CreditGen(cfg).Generate(900, 118);
-    LogisticRegression model;
+    DecisionTree model;
     XFAIR_CHECK(model.Fit(data).ok());
-    RecordParallelSpeedup("fairness_shap", [&] {
-      benchmark::DoNotOptimize(ExplainParityWithShapley(model, data, {}));
-    });
+    FairnessShapOptions generic;
+    generic.use_tree_fast_path = false;
+    FairnessShapOptions fast;  // Tree fast path on by default.
+    RecordAlgoSpeedup(
+        "fairness_shap",
+        [&] {
+          benchmark::DoNotOptimize(
+              ExplainParityWithShapley(model, data, generic));
+        },
+        [&] {
+          benchmark::DoNotOptimize(
+              ExplainParityWithShapley(model, data, fast));
+        });
   }
 }
 

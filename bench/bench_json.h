@@ -1,11 +1,18 @@
-// Serial-vs-parallel speedup harness for the benches.
+// Speedup harness for the benches. Two recorders, one artifact format:
 //
-// RecordParallelSpeedup times one workload twice — pool pinned to a
-// single worker, then to XFAIR_BENCH_THREADS workers (default 4) — and
-// writes the measurement to BENCH_<name>.json in the working directory,
-// so speedups are machine-readable artifacts of a bench run rather than
-// numbers scraped from stdout. Determinism makes the comparison honest:
-// both runs produce bit-identical results, so the only difference is
+// - RecordParallelSpeedup: times one workload with the pool pinned to a
+//   single worker and to XFAIR_BENCH_THREADS workers (default 4).
+// - RecordAlgoSpeedup: additionally times a *baseline algorithm* against
+//   the optimized one (both single-worker, so the ratio is purely
+//   algorithmic), then the optimized one with the pool enabled.
+//
+// Both write BENCH_<name>.json in the working directory with the fields
+// baseline_ms / optimized_ms / algo_speedup (single-core algorithm
+// comparison; equal to serial for parallel-only benches) and serial_ms /
+// parallel_ms / speedup (thread scaling of the shipped path), so
+// speedups are machine-readable artifacts of a bench run rather than
+// numbers scraped from stdout. Determinism makes the comparisons honest:
+// every run produces bit-identical results, so the only difference is
 // wall time.
 
 #ifndef XFAIR_BENCH_BENCH_JSON_H_
@@ -45,22 +52,11 @@ inline size_t BenchThreads() {
   return 4;
 }
 
-}  // namespace bench_json_internal
-
-/// Runs `workload` serially and with the pool at XFAIR_BENCH_THREADS
-/// (default 4) workers, taking the best of `repeats` runs each, and
-/// writes BENCH_<name>.json. Restores the pool to its environment
-/// default before returning.
-inline void RecordParallelSpeedup(const std::string& name,
-                                  const std::function<void()>& workload,
-                                  int repeats = 3) {
-  const size_t threads = bench_json_internal::BenchThreads();
-  SetParallelThreads(1);
-  const double serial_ms = bench_json_internal::TimeMs(workload, repeats);
-  SetParallelThreads(threads);
-  const double parallel_ms = bench_json_internal::TimeMs(workload, repeats);
-  SetParallelThreads(0);
-
+inline void WriteBenchJson(const std::string& name, double baseline_ms,
+                           double optimized_ms, double serial_ms,
+                           double parallel_ms, size_t threads) {
+  const double algo_speedup =
+      optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -71,19 +67,64 @@ inline void RecordParallelSpeedup(const std::string& name,
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"%s\",\n"
+               "  \"baseline_ms\": %.3f,\n"
+               "  \"optimized_ms\": %.3f,\n"
+               "  \"algo_speedup\": %.3f,\n"
                "  \"serial_ms\": %.3f,\n"
                "  \"parallel_ms\": %.3f,\n"
                "  \"speedup\": %.3f,\n"
                "  \"threads\": %zu,\n"
                "  \"hardware_concurrency\": %u\n"
                "}\n",
-               name.c_str(), serial_ms, parallel_ms, speedup, threads,
+               name.c_str(), baseline_ms, optimized_ms, algo_speedup,
+               serial_ms, parallel_ms, speedup, threads,
                std::thread::hardware_concurrency());
   std::fclose(f);
-  std::printf("[bench_json] %s: serial %.1f ms, %zu-thread %.1f ms, "
-              "speedup %.2fx -> %s\n",
-              name.c_str(), serial_ms, threads, parallel_ms, speedup,
-              path.c_str());
+  std::printf("[bench_json] %s: baseline %.1f ms, optimized %.1f ms "
+              "(algo %.2fx); serial %.1f ms, %zu-thread %.1f ms "
+              "(threads %.2fx) -> %s\n",
+              name.c_str(), baseline_ms, optimized_ms, algo_speedup,
+              serial_ms, threads, parallel_ms, speedup, path.c_str());
+}
+
+}  // namespace bench_json_internal
+
+/// Runs `workload` serially and with the pool at XFAIR_BENCH_THREADS
+/// (default 4) workers, taking the best of `repeats` runs each, and
+/// writes BENCH_<name>.json (baseline fields mirror the serial run: no
+/// algorithmic variant is being compared). Restores the pool to its
+/// environment default before returning.
+inline void RecordParallelSpeedup(const std::string& name,
+                                  const std::function<void()>& workload,
+                                  int repeats = 3) {
+  const size_t threads = bench_json_internal::BenchThreads();
+  SetParallelThreads(1);
+  const double serial_ms = bench_json_internal::TimeMs(workload, repeats);
+  SetParallelThreads(threads);
+  const double parallel_ms = bench_json_internal::TimeMs(workload, repeats);
+  SetParallelThreads(0);
+  bench_json_internal::WriteBenchJson(name, serial_ms, serial_ms, serial_ms,
+                                      parallel_ms, threads);
+}
+
+/// Times `baseline` and `optimized` with the pool pinned to one worker —
+/// so algo_speedup = baseline_ms / optimized_ms is a pure
+/// algorithmic-improvement ratio, uncontaminated by threading — then
+/// re-times `optimized` at XFAIR_BENCH_THREADS workers for the thread-
+/// scaling fields, and writes BENCH_<name>.json.
+inline void RecordAlgoSpeedup(const std::string& name,
+                              const std::function<void()>& baseline,
+                              const std::function<void()>& optimized,
+                              int repeats = 3) {
+  const size_t threads = bench_json_internal::BenchThreads();
+  SetParallelThreads(1);
+  const double baseline_ms = bench_json_internal::TimeMs(baseline, repeats);
+  const double optimized_ms = bench_json_internal::TimeMs(optimized, repeats);
+  SetParallelThreads(threads);
+  const double parallel_ms = bench_json_internal::TimeMs(optimized, repeats);
+  SetParallelThreads(0);
+  bench_json_internal::WriteBenchJson(name, baseline_ms, optimized_ms,
+                                      optimized_ms, parallel_ms, threads);
 }
 
 }  // namespace xfair

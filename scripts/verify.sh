@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, the same suite with the pool
 # forced to 4 workers, and the parallel runtime under ThreadSanitizer.
+# With --bench, additionally regenerates the BENCH_*.json artifacts via
+# scripts/bench.sh (Release build; slower).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) run_bench=1 ;;
+    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . > /dev/null
@@ -18,6 +28,12 @@ echo "== parallel_test under ThreadSanitizer (XFAIR_THREADS=8) =="
 cmake -B build-tsan -S . -DXFAIR_TSAN=ON > /dev/null
 cmake --build build-tsan -j --target parallel_test
 XFAIR_THREADS=8 ./build-tsan/tests/parallel_test
+
+if [[ "$run_bench" == 1 ]]; then
+  echo
+  echo "== bench artifacts (scripts/bench.sh) =="
+  ./scripts/bench.sh
+fi
 
 echo
 echo "verify: all checks passed"

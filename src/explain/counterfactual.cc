@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/util/kdtree.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -248,13 +249,45 @@ GroupCounterfactuals CounterfactualsForNegatives(
   for (size_t i = 0; i < data.size(); ++i) {
     if (predictions[i] != config.target_class) out.indices.push_back(i);
   }
+  // Optional seeding: index the rows already predicted as the target
+  // class in range-normalized coordinates (the units the sphere radius
+  // lives in), so each search can skip spheres smaller than half the
+  // distance to the nearest known flip.
+  const size_t d = data.num_features();
+  KdTree index;
+  if (config.seed_radius_from_neighbors) {
+    std::vector<size_t> targets;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (predictions[i] == config.target_class) targets.push_back(i);
+    }
+    if (!targets.empty()) {
+      Matrix pts(targets.size(), d);
+      for (size_t r = 0; r < targets.size(); ++r) {
+        for (size_t c = 0; c < d; ++c) {
+          pts.At(r, c) = data.x().At(targets[r], c) /
+                         FeatureRange(data.schema().feature(c));
+        }
+      }
+      index = KdTree(pts);
+    }
+  }
   const Rng root = rng->Split();
   out.results.resize(out.indices.size());
   ParallelFor(0, out.indices.size(), [&](size_t k) {
     const size_t i = out.indices[k];
     Rng instance_rng = root.Fork(i);
+    CounterfactualConfig cfg = config;
+    if (!index.empty()) {
+      Vector q(d);
+      for (size_t c = 0; c < d; ++c) {
+        q[c] = data.x().At(i, c) / FeatureRange(data.schema().feature(c));
+      }
+      const std::vector<size_t> nn = index.KNearest(q.data(), 1);
+      const double dist = std::sqrt(index.SquaredDistance(q.data(), nn[0]));
+      cfg.initial_radius = std::max(config.initial_radius, 0.5 * dist);
+    }
     out.results[k] = GrowingSpheresCounterfactual(
-        model, data.schema(), data.instance(i), config, &instance_rng);
+        model, data.schema(), data.instance(i), cfg, &instance_rng);
   });
   return out;
 }

@@ -45,6 +45,13 @@ struct CounterfactualConfig {
   double radius_growth = 1.3;
   /// Growing spheres: candidate points sampled per sphere.
   size_t samples_per_sphere = 40;
+  /// CounterfactualsForNegatives only: seed each instance's initial
+  /// radius at half its normalized distance to the nearest data row
+  /// already predicted as the target class (KD-tree lookup), skipping the
+  /// small spheres that cannot contain a class flip. Results may differ
+  /// from the unseeded search (different spheres are sampled) but remain
+  /// valid, feasible, and deterministic.
+  bool seed_radius_from_neighbors = false;
 };
 
 /// Range-normalized L2 distance: each coordinate is divided by its schema

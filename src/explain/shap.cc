@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/explain/tree_shap.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -161,6 +162,15 @@ Vector ShapExplainInstance(const Model& model, const Dataset& background,
                            const Vector& x, size_t permutations, Rng* rng) {
   XFAIR_CHECK(background.size() > 0);
   XFAIR_CHECK(x.size() == background.num_features());
+  // Tree models admit an exact polynomial solution of this very masking
+  // game — route them to interventional TreeSHAP (same semantics, exact
+  // at any dimensionality, no coalition enumeration or sampling).
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    return InterventionalTreeShap(*tree, background.x(), x).phi;
+  }
+  if (const auto* forest = dynamic_cast<const RandomForest*>(&model)) {
+    return InterventionalTreeShap(*forest, background.x(), x).phi;
+  }
   const size_t d = x.size();
   CoalitionValue value = [&](const std::vector<bool>& mask) {
     // One batched prediction per coalition: background rows with the

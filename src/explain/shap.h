@@ -100,7 +100,10 @@ Vector SampledShapley(const CoalitionValue& value, size_t d,
 /// the mean model output with features in S fixed to x and the rest taken
 /// from background rows (evaluated through PredictProbaBatch). Returns
 /// one attribution per feature; they sum to f(x) - E_background[f]
-/// (efficiency property).
+/// (efficiency property). Decision trees and random forests dispatch to
+/// the exact polynomial-time interventional TreeSHAP of the same game
+/// (src/explain/tree_shap.h); other models enumerate coalitions exactly
+/// for d <= 10 and fall back to permutation sampling above that.
 Vector ShapExplainInstance(const Model& model, const Dataset& background,
                            const Vector& x, size_t permutations, Rng* rng);
 

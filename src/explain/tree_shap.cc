@@ -1,0 +1,448 @@
+#include "src/explain/tree_shap.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <memory>
+
+#include "src/util/parallel.h"
+
+namespace xfair {
+namespace {
+
+/// Paths may touch at most this many distinct features (factorial table
+/// size; also keeps the closed-form weights inside double range).
+constexpr size_t kMaxPathFeatures = 64;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Unified view of TreeNode / GbmNode for the walkers below.
+struct ShapNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1, right = -1;
+  double value = 0.0;  ///< Leaf output.
+  double cover = 0.0;  ///< Training weight that reached the node.
+};
+
+std::vector<ShapNode> ToShapNodes(const std::vector<TreeNode>& nodes) {
+  std::vector<ShapNode> out(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = {nodes[i].feature, nodes[i].threshold, nodes[i].left,
+              nodes[i].right,   nodes[i].proba,     nodes[i].weight};
+  }
+  return out;
+}
+
+std::vector<ShapNode> ToShapNodes(const std::vector<GbmNode>& nodes) {
+  std::vector<ShapNode> out(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out[i] = {nodes[i].feature, nodes[i].threshold, nodes[i].left,
+              nodes[i].right,   nodes[i].value,     nodes[i].cover};
+  }
+  return out;
+}
+
+int MaxFeature(const std::vector<ShapNode>& nodes) {
+  int mf = -1;
+  for (const ShapNode& n : nodes) mf = std::max(mf, n.feature);
+  return mf;
+}
+
+const double* Factorials() {
+  static const std::array<double, kMaxPathFeatures + 1> table = [] {
+    std::array<double, kMaxPathFeatures + 1> t{};
+    t[0] = 1.0;
+    for (size_t i = 1; i < t.size(); ++i) {
+      t[i] = t[i - 1] * static_cast<double>(i);
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+// ---------------------------------------------------------------------------
+// Path-dependent TreeSHAP.
+//
+// Per leaf, the EXPVALUE game restricted to the path's unique features is
+//   v(S) = value * prod_f (f in S ? one_f : zero_f),
+// with one_f = [x passes f's merged split interval] in {0, 1} and
+// zero_f = product of f's cover ratios along the path (> 0). The Shapley
+// weight sum for feature f needs the elementary symmetric polynomials of
+// the *other* factors, obtained by convolving all factors once (O(m^2))
+// and deconvolving one factor at a time (O(m) each).
+// ---------------------------------------------------------------------------
+
+/// One unique feature on the current root-to-node path.
+struct PdEntry {
+  int feature = -1;
+  double lo = -kInf, hi = kInf;  ///< Pass iff lo < x[feature] <= hi.
+  double zero = 1.0;             ///< Product of this feature's cover ratios.
+};
+
+struct PdScratch {
+  std::vector<PdEntry> path;
+  std::vector<double> ones;  ///< one_f per path entry, in path order.
+  std::vector<double> c;     ///< Coefficients of prod (zero_f + one_f t).
+  std::vector<double> cw;    ///< Coefficients with one factor removed.
+};
+
+void PdLeaf(double value, const double* x, PdScratch* s, Vector* phi,
+            double* base, const double* fact) {
+  const std::vector<PdEntry>& path = s->path;
+  const size_t m = path.size();
+  XFAIR_CHECK_MSG(m <= kMaxPathFeatures, "tree path too deep for TreeSHAP");
+  s->ones.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const PdEntry& e = path[i];
+    s->ones[i] =
+        (e.lo < x[e.feature] && x[e.feature] <= e.hi) ? 1.0 : 0.0;
+  }
+
+  // Full product polynomial, built factor by factor in place.
+  std::vector<double>& c = s->c;
+  c.assign(m + 1, 0.0);
+  c[0] = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double zero = path[i].zero;
+    const double one = s->ones[i];
+    for (size_t j = i + 2; j-- > 0;) {
+      c[j] = zero * c[j] + (j > 0 ? one * c[j - 1] : 0.0);
+    }
+  }
+  *base += value * c[0];  // c[0] = prod zero_f = P(leaf | empty coalition).
+  if (m == 0) return;
+
+  std::vector<double>& cw = s->cw;
+  cw.assign(m, 0.0);
+  const double inv_mfact = 1.0 / fact[m];
+  for (size_t i = 0; i < m; ++i) {
+    const double zero = path[i].zero;
+    const double one = s->ones[i];
+    // Deconvolve factor i: c[j] = zero * cw[j] + one * cw[j-1].
+    if (one == 0.0) {
+      for (size_t j = 0; j < m; ++j) cw[j] = c[j] / zero;
+    } else {
+      cw[m - 1] = c[m];
+      for (size_t j = m - 1; j-- > 0;) {
+        cw[j] = c[j + 1] - zero * cw[j + 1];
+      }
+    }
+    double acc = 0.0;
+    for (size_t j = 0; j < m; ++j) acc += cw[j] * fact[j] * fact[m - 1 - j];
+    (*phi)[static_cast<size_t>(path[i].feature)] +=
+        value * (one - zero) * acc * inv_mfact;
+  }
+}
+
+void PdWalk(const std::vector<ShapNode>& nodes, int id, const double* x,
+            PdScratch* s, Vector* phi, double* base, const double* fact) {
+  const ShapNode& n = nodes[static_cast<size_t>(id)];
+  if (n.feature < 0) {
+    PdLeaf(n.value, x, s, phi, base, fact);
+    return;
+  }
+  auto descend = [&](int child, bool left_edge) {
+    const double ratio = nodes[static_cast<size_t>(child)].cover / n.cover;
+    size_t idx = 0;
+    while (idx < s->path.size() && s->path[idx].feature != n.feature) ++idx;
+    const bool existed = idx < s->path.size();
+    if (!existed) s->path.push_back({n.feature, -kInf, kInf, 1.0});
+    const PdEntry saved = s->path[idx];
+    PdEntry& e = s->path[idx];
+    if (left_edge) {
+      e.hi = std::min(e.hi, n.threshold);
+    } else {
+      e.lo = std::max(e.lo, n.threshold);
+    }
+    e.zero = saved.zero * ratio;
+    PdWalk(nodes, child, x, s, phi, base, fact);
+    if (existed) {
+      s->path[idx] = saved;
+    } else {
+      s->path.pop_back();
+    }
+  };
+  descend(n.left, /*left_edge=*/true);
+  descend(n.right, /*left_edge=*/false);
+}
+
+/// Adds one tree's path-dependent attributions into phi/base.
+void PathDependentTree(const std::vector<ShapNode>& nodes, const double* x,
+                       PdScratch* s, Vector* phi, double* base) {
+  XFAIR_CHECK(!nodes.empty() && nodes[0].cover > 0.0);
+  PdWalk(nodes, 0, x, s, phi, base, Factorials());
+}
+
+// ---------------------------------------------------------------------------
+// Interventional TreeSHAP.
+//
+// For one explained row x and one background row z, a leaf's coalition
+// indicator is [P subset of S][N disjoint from S], where P are the unique
+// path features only x passes and N the ones only z passes (leaves with a
+// feature neither passes are unreachable for every coalition and the
+// descent prunes them). The Shapley value of that indicator game is the
+// closed form (p-1)! q! / (p+q)! for f in P and -p! (q-1)! / (p+q)! for
+// f in N; leaves with p == 0 contribute to the empty-coalition value.
+// ---------------------------------------------------------------------------
+
+struct IvEntry {
+  int feature = -1;
+  double lo = -kInf, hi = kInf;
+};
+
+/// Walks leaves reachable by some x/z hybrid, accumulating `weight`-scaled
+/// attributions into phi and the empty-coalition value into base.
+void IvWalk(const std::vector<ShapNode>& nodes, int id, const double* x,
+            const double* z, std::vector<IvEntry>* path, double weight,
+            Vector* phi, double* base, const double* fact) {
+  const ShapNode& n = nodes[static_cast<size_t>(id)];
+  if (n.feature < 0) {
+    const size_t m = path->size();
+    XFAIR_CHECK_MSG(m <= kMaxPathFeatures, "tree path too deep for TreeSHAP");
+    size_t p = 0, q = 0;
+    for (const IvEntry& e : *path) {
+      const bool a = e.lo < x[e.feature] && x[e.feature] <= e.hi;
+      const bool b = e.lo < z[e.feature] && z[e.feature] <= e.hi;
+      p += a && !b;
+      q += !a && b;
+    }
+    if (p == 0) *base += weight * n.value;
+    if (p + q == 0) return;
+    const double inv = 1.0 / fact[p + q];
+    const double w_pos = p > 0 ? fact[p - 1] * fact[q] * inv : 0.0;
+    const double w_neg = q > 0 ? fact[p] * fact[q - 1] * inv : 0.0;
+    for (const IvEntry& e : *path) {
+      const bool a = e.lo < x[e.feature] && x[e.feature] <= e.hi;
+      const bool b = e.lo < z[e.feature] && z[e.feature] <= e.hi;
+      if (a && !b) {
+        (*phi)[static_cast<size_t>(e.feature)] += weight * n.value * w_pos;
+      } else if (!a && b) {
+        (*phi)[static_cast<size_t>(e.feature)] -= weight * n.value * w_neg;
+      }
+    }
+    return;
+  }
+  auto descend = [&](int child, bool left_edge) {
+    size_t idx = 0;
+    while (idx < path->size() && (*path)[idx].feature != n.feature) ++idx;
+    const bool existed = idx < path->size();
+    if (!existed) path->push_back({n.feature, -kInf, kInf});
+    const IvEntry saved = (*path)[idx];
+    IvEntry& e = (*path)[idx];
+    if (left_edge) {
+      e.hi = std::min(e.hi, n.threshold);
+    } else {
+      e.lo = std::max(e.lo, n.threshold);
+    }
+    const bool a = e.lo < x[e.feature] && x[e.feature] <= e.hi;
+    const bool b = e.lo < z[e.feature] && z[e.feature] <= e.hi;
+    if (a || b) IvWalk(nodes, child, x, z, path, weight, phi, base, fact);
+    if (existed) {
+      (*path)[idx] = saved;
+    } else {
+      path->pop_back();
+    }
+  };
+  descend(n.left, /*left_edge=*/true);
+  descend(n.right, /*left_edge=*/false);
+}
+
+/// EXPVALUE reference game: descend x's branch for unmasked features,
+/// cover-average both children for masked ones. Exponential when fed to
+/// ExactShapley — the oracle the polynomial algorithms are tested against.
+double ExpValue(const std::vector<ShapNode>& nodes, int id,
+                const std::vector<bool>& mask, const Vector& x) {
+  const ShapNode& n = nodes[static_cast<size_t>(id)];
+  if (n.feature < 0) return n.value;
+  const size_t f = static_cast<size_t>(n.feature);
+  if (mask[f]) {
+    return ExpValue(nodes, x[f] <= n.threshold ? n.left : n.right, mask, x);
+  }
+  const ShapNode& l = nodes[static_cast<size_t>(n.left)];
+  const ShapNode& r = nodes[static_cast<size_t>(n.right)];
+  return (l.cover * ExpValue(nodes, n.left, mask, x) +
+          r.cover * ExpValue(nodes, n.right, mask, x)) /
+         n.cover;
+}
+
+}  // namespace
+
+TreeShapExplanation PathDependentTreeShap(const DecisionTree& tree,
+                                          const Vector& x) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
+  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
+  TreeShapExplanation out;
+  out.phi.assign(x.size(), 0.0);
+  PdScratch scratch;
+  PathDependentTree(nodes, x.data(), &scratch, &out.phi, &out.base_value);
+  return out;
+}
+
+TreeShapExplanation PathDependentTreeShap(const RandomForest& forest,
+                                          const Vector& x) {
+  XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  const std::vector<DecisionTree>& trees = forest.trees();
+  const size_t d = x.size();
+  const size_t num_trees = trees.size();
+  // Slot d carries the base value so one reduction covers everything.
+  Vector acc = ParallelReduceVector(
+      0, num_trees, d + 1, [&](const ChunkRange& chunk, Vector* out) {
+        PdScratch scratch;
+        for (size_t t = chunk.begin; t < chunk.end; ++t) {
+          const std::vector<ShapNode> nodes = ToShapNodes(trees[t].nodes());
+          XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(d));
+          PathDependentTree(nodes, x.data(), &scratch, out, &(*out)[d]);
+        }
+      });
+  const double inv = 1.0 / static_cast<double>(num_trees);
+  TreeShapExplanation out;
+  out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
+  for (double& v : out.phi) v *= inv;
+  out.base_value = acc[d] * inv;
+  return out;
+}
+
+TreeShapExplanation PathDependentTreeShapMargin(
+    const GradientBoostedTrees& gbm, const Vector& x) {
+  XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
+  const auto& trees = gbm.trees();
+  const size_t d = x.size();
+  Vector acc = ParallelReduceVector(
+      0, trees.size(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
+        PdScratch scratch;
+        for (size_t t = chunk.begin; t < chunk.end; ++t) {
+          const std::vector<ShapNode> nodes = ToShapNodes(trees[t]);
+          XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(d));
+          PathDependentTree(nodes, x.data(), &scratch, out, &(*out)[d]);
+        }
+      });
+  TreeShapExplanation out;
+  out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
+  for (double& v : out.phi) v *= gbm.learning_rate();
+  out.base_value = gbm.bias() + gbm.learning_rate() * acc[d];
+  return out;
+}
+
+TreeShapExplanation InterventionalTreeShap(const DecisionTree& tree,
+                                           const Matrix& background,
+                                           const Vector& x) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  XFAIR_CHECK(background.rows() > 0);
+  XFAIR_CHECK(x.size() == background.cols());
+  const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
+  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
+  const size_t d = x.size();
+  Vector acc = ParallelReduceVector(
+      0, background.rows(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
+        std::vector<IvEntry> path;
+        for (size_t b = chunk.begin; b < chunk.end; ++b) {
+          IvWalk(nodes, 0, x.data(), background.RowPtr(b), &path, 1.0, out,
+                 &(*out)[d], Factorials());
+        }
+      });
+  const double inv = 1.0 / static_cast<double>(background.rows());
+  TreeShapExplanation out;
+  out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
+  for (double& v : out.phi) v *= inv;
+  out.base_value = acc[d] * inv;
+  return out;
+}
+
+TreeShapExplanation InterventionalTreeShap(const RandomForest& forest,
+                                           const Matrix& background,
+                                           const Vector& x) {
+  XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  XFAIR_CHECK(background.rows() > 0);
+  XFAIR_CHECK(x.size() == background.cols());
+  const size_t d = x.size();
+  std::vector<std::vector<ShapNode>> all;
+  all.reserve(forest.trees().size());
+  for (const DecisionTree& tree : forest.trees()) {
+    all.push_back(ToShapNodes(tree.nodes()));
+    XFAIR_CHECK(MaxFeature(all.back()) < static_cast<int>(d));
+  }
+  Vector acc = ParallelReduceVector(
+      0, background.rows(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
+        std::vector<IvEntry> path;
+        for (size_t b = chunk.begin; b < chunk.end; ++b) {
+          for (const std::vector<ShapNode>& nodes : all) {
+            IvWalk(nodes, 0, x.data(), background.RowPtr(b), &path, 1.0, out,
+                   &(*out)[d], Factorials());
+          }
+        }
+      });
+  const double inv = 1.0 / (static_cast<double>(background.rows()) *
+                            static_cast<double>(all.size()));
+  TreeShapExplanation out;
+  out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
+  for (double& v : out.phi) v *= inv;
+  out.base_value = acc[d] * inv;
+  return out;
+}
+
+Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
+                                         const Matrix& xs,
+                                         const std::vector<size_t>& rows,
+                                         const Vector& weights,
+                                         const Vector& z, double tau) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  XFAIR_CHECK(rows.size() == weights.size());
+  XFAIR_CHECK(z.size() == xs.cols());
+  std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
+  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(z.size()));
+  for (ShapNode& n : nodes) n.value = n.value >= tau ? 1.0 : 0.0;
+  const size_t d = z.size();
+  Vector acc = ParallelReduceVector(
+      0, rows.size(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
+        std::vector<IvEntry> path;
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          IvWalk(nodes, 0, xs.RowPtr(rows[i]), z.data(), &path, weights[i],
+                 out, &(*out)[d], Factorials());
+        }
+      });
+  acc.resize(d);  // Drop the empty-coalition slot; callers track their own.
+  return acc;
+}
+
+CoalitionValue PathDependentGame(const DecisionTree& tree, const Vector& x) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  auto nodes =
+      std::make_shared<const std::vector<ShapNode>>(ToShapNodes(tree.nodes()));
+  return [nodes, x](const std::vector<bool>& mask) {
+    return ExpValue(*nodes, 0, mask, x);
+  };
+}
+
+CoalitionValue PathDependentGame(const RandomForest& forest, const Vector& x) {
+  XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  auto all = std::make_shared<std::vector<std::vector<ShapNode>>>();
+  for (const DecisionTree& tree : forest.trees()) {
+    all->push_back(ToShapNodes(tree.nodes()));
+  }
+  return [all, x](const std::vector<bool>& mask) {
+    double acc = 0.0;
+    for (const std::vector<ShapNode>& nodes : *all) {
+      acc += ExpValue(nodes, 0, mask, x);
+    }
+    return acc / static_cast<double>(all->size());
+  };
+}
+
+CoalitionValue PathDependentGameMargin(const GradientBoostedTrees& gbm,
+                                       const Vector& x) {
+  XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
+  auto all = std::make_shared<std::vector<std::vector<ShapNode>>>();
+  for (const auto& tree : gbm.trees()) all->push_back(ToShapNodes(tree));
+  const double lr = gbm.learning_rate();
+  const double bias = gbm.bias();
+  return [all, x, lr, bias](const std::vector<bool>& mask) {
+    double acc = bias;
+    for (const std::vector<ShapNode>& nodes : *all) {
+      acc += lr * ExpValue(nodes, 0, mask, x);
+    }
+    return acc;
+  };
+}
+
+}  // namespace xfair

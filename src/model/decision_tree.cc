@@ -35,6 +35,8 @@ Status DecisionTree::Fit(const Dataset& data,
     return Status::InvalidArgument("all instance weights are zero");
   Rng rng(options.feature_seed);
   Build(data, weights, indices, 0, options, &rng);
+  flat_ = FlatTree::FromNodes(nodes_,
+                              [](const TreeNode& n) { return n.proba; });
   return Status::OK();
 }
 
@@ -133,22 +135,16 @@ double DecisionTree::PredictProba(const Vector& x) const {
 
 double DecisionTree::PredictProbaRow(const double* row, size_t dim) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
-  int node = 0;
-  for (;;) {
-    const TreeNode& n = nodes_[static_cast<size_t>(node)];
-    if (n.feature < 0) return n.proba;
-    XFAIR_CHECK(static_cast<size_t>(n.feature) < dim);
-    node = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
-                                                              : n.right;
-  }
+  XFAIR_CHECK(flat_.max_feature() < static_cast<int>(dim));
+  return flat_.PredictRow(row);
 }
 
 Vector DecisionTree::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
   Vector out(x.rows());
-  ParallelFor(0, x.rows(), [&](size_t i) {
-    out[i] = PredictProbaRow(x.RowPtr(i), x.cols());
-  });
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { out[i] = flat_.PredictRow(x.RowPtr(i)); });
   return out;
 }
 

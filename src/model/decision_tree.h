@@ -5,6 +5,7 @@
 #ifndef XFAIR_MODEL_DECISION_TREE_H_
 #define XFAIR_MODEL_DECISION_TREE_H_
 
+#include "src/model/flat_tree.h"
 #include "src/model/model.h"
 #include "src/util/status.h"
 
@@ -45,10 +46,14 @@ class DecisionTree final : public Model {
 
   bool fitted() const { return !nodes_.empty(); }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
+  /// Branchless structure-of-arrays copy of the fitted tree, rebuilt at
+  /// the end of Fit. All batched prediction routes through it.
+  const FlatTree& flat() const { return flat_; }
   /// Index of the leaf that `x` routes to.
   int LeafIndex(const Vector& x) const;
   /// Leaf probability for a raw row of `dim` features (no Vector copy);
-  /// the building block of batched ensemble prediction.
+  /// the building block of batched ensemble prediction. Uses the flat
+  /// branchless layout.
   double PredictProbaRow(const double* row, size_t dim) const;
 
  private:
@@ -57,6 +62,7 @@ class DecisionTree final : public Model {
             const DecisionTreeOptions& options, Rng* rng);
 
   std::vector<TreeNode> nodes_;
+  FlatTree flat_;
 };
 
 }  // namespace xfair

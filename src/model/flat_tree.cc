@@ -1,0 +1,17 @@
+#include "src/model/flat_tree.h"
+
+namespace xfair {
+
+size_t FlatTree::ComputeDepth(int32_t node) const {
+  const size_t i = static_cast<size_t>(node);
+  // Self-looped leaves terminate the recursion.
+  if (left_[i] == node && right_[i] == node) return 0;
+  return 1 + std::max(ComputeDepth(left_[i]), ComputeDepth(right_[i]));
+}
+
+void FlatForest::Add(FlatTree tree) {
+  max_feature_ = std::max(max_feature_, tree.max_feature());
+  trees_.push_back(std::move(tree));
+}
+
+}  // namespace xfair

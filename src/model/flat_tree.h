@@ -1,0 +1,147 @@
+// Structure-of-arrays tree inference.
+//
+// Fitted trees are stored as arrays of pointer-linked nodes (TreeNode /
+// GbmNode) because the explainers walk them structurally. For *inference*
+// that layout is slow: every row chases 40-byte nodes through memory and
+// takes an unpredictable branch per level. FlatTree re-packs a fitted tree
+// once into parallel arrays (feature, threshold, left, right, value) and
+// self-loops its leaves (feature 0, threshold +inf, left = right = self),
+// so traversal becomes a fixed-trip-count loop of depth() conditional
+// moves with no leaf test and no branch misprediction. The leaf reached —
+// and therefore the returned value — is bit-identical to the recursive
+// walk; FlatTree is a pure drop-in under every batched entry point.
+//
+// FlatForest concatenates the flat trees of an ensemble and accumulates
+// per-row values in ascending tree order, matching the serial summation
+// order of the pointer-chasing baselines exactly.
+
+#ifndef XFAIR_MODEL_FLAT_TREE_H_
+#define XFAIR_MODEL_FLAT_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace xfair {
+
+/// One fitted binary tree re-packed for branchless traversal.
+class FlatTree {
+ public:
+  FlatTree() = default;
+
+  /// Re-packs `nodes` (any node type with .feature, .threshold, .left,
+  /// .right members and a leaf value returned by `leaf_value`). Leaves are
+  /// detected by feature < 0.
+  template <typename Node, typename LeafValue>
+  static FlatTree FromNodes(const std::vector<Node>& nodes,
+                            LeafValue leaf_value) {
+    FlatTree t;
+    const size_t n = nodes.size();
+    t.feature_.resize(n);
+    t.threshold_.resize(n);
+    t.left_.resize(n);
+    t.right_.resize(n);
+    t.value_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Node& node = nodes[i];
+      t.value_[i] = leaf_value(node);
+      if (node.feature < 0) {
+        // Self-looping leaf: any comparison outcome stays put, so the
+        // traversal can run a fixed number of iterations.
+        t.feature_[i] = 0;
+        t.threshold_[i] = kInf;
+        t.left_[i] = static_cast<int32_t>(i);
+        t.right_[i] = static_cast<int32_t>(i);
+      } else {
+        t.feature_[i] = node.feature;
+        t.threshold_[i] = node.threshold;
+        t.left_[i] = node.left;
+        t.right_[i] = node.right;
+        t.max_feature_ = std::max(t.max_feature_, node.feature);
+      }
+    }
+    if (n > 0) t.depth_ = t.ComputeDepth(0);
+    return t;
+  }
+
+  bool empty() const { return feature_.empty(); }
+  size_t num_nodes() const { return feature_.size(); }
+  /// Length of the longest root-to-leaf path (0 for a root-only tree).
+  size_t depth() const { return depth_; }
+  /// Largest split feature index (-1 if the tree is a single leaf).
+  int max_feature() const { return max_feature_; }
+
+  /// Leaf value for a raw feature row. The row must hold more than
+  /// max_feature() entries (checked once by the batch callers).
+  double PredictRow(const double* row) const {
+    const int32_t* feature = feature_.data();
+    const double* threshold = threshold_.data();
+    const int32_t* left = left_.data();
+    const int32_t* right = right_.data();
+    int32_t node = 0;
+    for (size_t level = 0; level < depth_; ++level) {
+      const int32_t l = left[node];
+      const int32_t r = right[node];
+      node = row[feature[node]] <= threshold[node] ? l : r;
+    }
+    return value_[node];
+  }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  size_t ComputeDepth(int32_t node) const;
+
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<double> value_;
+  size_t depth_ = 0;
+  int max_feature_ = -1;
+};
+
+/// Flat trees of an ensemble, accumulated in ascending tree order.
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  void Clear() { trees_.clear(); }
+  void Add(FlatTree tree);
+
+  size_t num_trees() const { return trees_.size(); }
+  bool empty() const { return trees_.empty(); }
+  int max_feature() const { return max_feature_; }
+
+  /// Sum over trees of tree value for `row` (serial ascending order).
+  double SumRow(const double* row) const {
+    double acc = 0.0;
+    for (const FlatTree& t : trees_) acc += t.PredictRow(row);
+    return acc;
+  }
+
+  /// scale * sum_t tree_t(row) accumulated as acc += scale * value per
+  /// tree — the exact arithmetic of the GBM margin recursion.
+  double ScaledSumRow(const double* row, double scale, double bias) const {
+    double acc = bias;
+    for (const FlatTree& t : trees_) acc += scale * t.PredictRow(row);
+    return acc;
+  }
+
+  /// Mean over trees of tree value for `row`.
+  double MeanRow(const double* row) const {
+    XFAIR_CHECK(!trees_.empty());
+    return SumRow(row) / static_cast<double>(trees_.size());
+  }
+
+ private:
+  std::vector<FlatTree> trees_;
+  int max_feature_ = -1;
+};
+
+}  // namespace xfair
+
+#endif  // XFAIR_MODEL_FLAT_TREE_H_

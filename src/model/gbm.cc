@@ -33,6 +33,7 @@ struct TreeBuilder {
       hess_sum += hessians[i];
     }
     nodes[id].value = grad_sum / std::max(hess_sum, 1e-12);
+    nodes[id].cover = static_cast<double>(indices.size());
 
     if (depth >= options.max_depth ||
         indices.size() < 2 * options.min_samples_leaf) {
@@ -142,6 +143,11 @@ Status GradientBoostedTrees::Fit(const Dataset& data,
     }
     trees_.push_back(std::move(builder.nodes));
   }
+  flat_.Clear();
+  for (const auto& tree : trees_) {
+    flat_.Add(
+        FlatTree::FromNodes(tree, [](const GbmNode& n) { return n.value; }));
+  }
   fitted_ = true;
   return Status::OK();
 }
@@ -163,9 +169,11 @@ double GradientBoostedTrees::PredictProba(const Vector& x) const {
 
 Vector GradientBoostedTrees::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
   Vector out(x.rows());
-  ParallelFor(0, x.rows(),
-              [&](size_t i) { out[i] = Sigmoid(MarginRow(x.RowPtr(i))); });
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    out[i] = Sigmoid(flat_.ScaledSumRow(x.RowPtr(i), learning_rate_, bias_));
+  });
   return out;
 }
 

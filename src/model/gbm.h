@@ -6,6 +6,7 @@
 #ifndef XFAIR_MODEL_GBM_H_
 #define XFAIR_MODEL_GBM_H_
 
+#include "src/model/flat_tree.h"
 #include "src/model/model.h"
 #include "src/util/status.h"
 
@@ -25,6 +26,7 @@ struct GbmNode {
   double threshold = 0.0;
   int left = -1, right = -1;
   double value = 0.0;  ///< Leaf output (margin-space step).
+  double cover = 0.0;  ///< Training rows that reached the node (TreeSHAP).
 };
 
 /// Boosted ensemble: margin(x) = bias + lr * sum_t tree_t(x);
@@ -41,6 +43,10 @@ class GradientBoostedTrees final : public Model {
 
   bool fitted() const { return fitted_; }
   size_t num_trees() const { return trees_.size(); }
+  /// The fitted regression trees (margin-space; for TreeSHAP).
+  const std::vector<std::vector<GbmNode>>& trees() const { return trees_; }
+  double bias() const { return bias_; }
+  double learning_rate() const { return learning_rate_; }
 
  private:
   double Margin(const Vector& x) const;
@@ -50,6 +56,9 @@ class GradientBoostedTrees final : public Model {
   double bias_ = 0.0;
   double learning_rate_ = 0.2;
   std::vector<std::vector<GbmNode>> trees_;
+  /// Branchless copies of the regression trees; batched margins traverse
+  /// these instead of the node arrays.
+  FlatForest flat_;
 };
 
 }  // namespace xfair

@@ -13,6 +13,7 @@ Status KnnClassifier::Fit(const Dataset& data) {
     return Status::InvalidArgument("k exceeds training-set size");
   }
   data_ = data;
+  index_ = KdTree(data_.x());
   fitted_ = true;
   return Status::OK();
 }
@@ -20,10 +21,28 @@ Status KnnClassifier::Fit(const Dataset& data) {
 std::vector<size_t> KnnClassifier::Neighbors(const Vector& x,
                                              size_t k) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.size() == data_.num_features());
+  return index_.KNearest(x.data(), k);
+}
+
+std::vector<size_t> KnnClassifier::NeighborsBruteForce(const Vector& x,
+                                                       size_t k) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(k > 0 && k <= data_.size());
-  std::vector<std::pair<double, size_t>> dist(data_.size());
-  for (size_t i = 0; i < data_.size(); ++i) {
-    dist[i] = {Norm2(Sub(data_.instance(i), x)), i};
+  XFAIR_CHECK(x.size() == data_.num_features());
+  const Matrix& pts = data_.x();
+  // Squared distances in place against the row storage — no per-candidate
+  // temporaries. Same coordinate order (and therefore the same floating-
+  // point sums) as KdTree::SquaredDistance.
+  std::vector<std::pair<double, size_t>> dist(pts.rows());
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    const double* row = pts.RowPtr(i);
+    double acc = 0.0;
+    for (size_t c = 0; c < pts.cols(); ++c) {
+      const double diff = row[c] - x[c];
+      acc += diff * diff;
+    }
+    dist[i] = {acc, i};
   }
   std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
                     dist.end());
@@ -32,18 +51,25 @@ std::vector<size_t> KnnClassifier::Neighbors(const Vector& x,
   return out;
 }
 
-double KnnClassifier::PredictProba(const Vector& x) const {
-  const auto nn = Neighbors(x, k_);
+double KnnClassifier::ProbaFromRow(const double* row) const {
+  const auto nn = index_.KNearest(row, k_);
   double pos = 0.0;
   for (size_t i : nn) pos += static_cast<double>(data_.label(i));
   return pos / static_cast<double>(nn.size());
 }
 
+double KnnClassifier::PredictProba(const Vector& x) const {
+  XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.size() == data_.num_features());
+  return ProbaFromRow(x.data());
+}
+
 Vector KnnClassifier::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.cols() == data_.num_features());
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
-              [&](size_t i) { out[i] = PredictProba(x.Row(i)); });
+              [&](size_t i) { out[i] = ProbaFromRow(x.RowPtr(i)); });
   return out;
 }
 

@@ -5,16 +5,21 @@
 #define XFAIR_MODEL_KNN_H_
 
 #include "src/model/model.h"
+#include "src/util/kdtree.h"
 #include "src/util/status.h"
 
 namespace xfair {
 
 /// k-NN with Euclidean distance over (typically standardized) features.
+/// Queries go through a KD-tree built at fit time; `NeighborsBruteForce`
+/// keeps the O(n*d) scan as a reference (both return identical index
+/// sets — ties break by ascending training-row index).
 class KnnClassifier final : public Model {
  public:
   explicit KnnClassifier(size_t k = 5) : k_(k) {}
 
-  /// Stores the training set. Requires k <= data.size().
+  /// Stores the training set and builds the neighbor index.
+  /// Requires k <= data.size().
   Status Fit(const Dataset& data);
 
   double PredictProba(const Vector& x) const override;
@@ -24,15 +29,21 @@ class KnnClassifier final : public Model {
   bool fitted() const { return fitted_; }
 
   /// Indices (into the training set) of the k nearest neighbors of x,
-  /// closest first.
+  /// closest first; ties broken by ascending row index.
   std::vector<size_t> Neighbors(const Vector& x, size_t k) const;
+
+  /// Reference O(n*d) scan; returns exactly what Neighbors returns.
+  std::vector<size_t> NeighborsBruteForce(const Vector& x, size_t k) const;
 
   const Dataset& training_data() const { return data_; }
 
  private:
+  double ProbaFromRow(const double* row) const;
+
   size_t k_;
   bool fitted_ = false;
   Dataset data_;
+  KdTree index_;
 };
 
 }  // namespace xfair

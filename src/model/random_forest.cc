@@ -41,6 +41,8 @@ Status RandomForest::Fit(const Dataset& data,
     if (!s.ok()) return s;
   }
   trees_ = std::move(trees);
+  flat_.Clear();
+  for (const DecisionTree& tree : trees_) flat_.Add(tree.flat());
   return Status::OK();
 }
 
@@ -53,13 +55,10 @@ double RandomForest::PredictProba(const Vector& x) const {
 
 Vector RandomForest::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
+  XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
   Vector out(x.rows());
-  ParallelFor(0, x.rows(), [&](size_t i) {
-    const double* row = x.RowPtr(i);
-    double acc = 0.0;
-    for (const auto& tree : trees_) acc += tree.PredictProbaRow(row, x.cols());
-    out[i] = acc / static_cast<double>(trees_.size());
-  });
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { out[i] = flat_.MeanRow(x.RowPtr(i)); });
   return out;
 }
 

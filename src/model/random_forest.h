@@ -35,6 +35,9 @@ class RandomForest final : public Model {
 
  private:
   std::vector<DecisionTree> trees_;
+  /// Concatenated branchless copies of all trees, rebuilt at the end of
+  /// Fit; PredictProbaBatch traverses these instead of the node arrays.
+  FlatForest flat_;
 };
 
 }  // namespace xfair

@@ -42,6 +42,14 @@ struct FairnessShapOptions {
   /// Background rows used by the masking mode (sampled from data).
   size_t background_size = 30;
   uint64_t seed = 17;
+  /// In kMask mode with a DecisionTree model, compute the decomposition
+  /// with exact polynomial TreeSHAP (src/explain/tree_shap.h) instead of
+  /// coalition enumeration/sampling: the masked parity gap is a weighted
+  /// sum of per-row masking games on the hard-thresholded tree, so the
+  /// attributions agree with the generic engine (exactly where the
+  /// generic engine is itself exact, i.e. d <= 10). Disable to force the
+  /// generic engines, e.g. for benchmarking.
+  bool use_tree_fast_path = true;
 };
 
 /// Decomposes the statistical parity difference of `model` on `data` into

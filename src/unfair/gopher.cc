@@ -35,6 +35,8 @@ class BinTable {
     return true;
   }
 
+  uint16_t bin(size_t i, size_t f) const { return bins_[i * d_ + f]; }
+
  private:
   size_t n_, d_;
   std::vector<uint16_t> bins_;
@@ -83,23 +85,68 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
   std::vector<Conditions> current;
   for (const auto& cand : singles) current.push_back(cand);
   for (size_t depth = 1; depth <= options.max_conditions; ++depth) {
-    // Score every candidate in parallel; each writes only its own slot,
-    // and the per-candidate influence sum runs in ascending row order,
-    // so the scores do not depend on the thread count.
+    // Score every candidate. Either a row-major scan (each row deposits
+    // into the candidates it matches — no per-candidate data pass) or the
+    // candidate-major baseline; both accumulate every candidate's
+    // influence sum in ascending row order, so the scores are identical
+    // bit for bit and independent of the thread count.
     std::vector<size_t> supports(current.size(), 0);
     Vector estimates(current.size(), 0.0);
-    ParallelFor(0, current.size(), [&](size_t ci) {
-      const Conditions& cand = current[ci];
-      size_t support = 0;
-      double est = 0.0;
+    // Single-condition id: sid(f, b) = sid_offset[f] + b. The depth-1
+    // candidate list is exactly the singles in sid order.
+    std::vector<size_t> sid_offset(train.num_features() + 1, 0);
+    for (size_t f = 0; f < train.num_features(); ++f)
+      sid_offset[f + 1] = sid_offset[f] + disc.NumBins(f);
+    const size_t num_sids = sid_offset.back();
+    const size_t d = train.num_features();
+    bool fast_done = false;
+    if (options.fast_pair_scan && depth == 1) {
       for (size_t i = 0; i < n; ++i) {
-        if (!bins.Matches(i, cand)) continue;
-        ++support;
-        est += influence[i];
+        for (size_t f = 0; f < d; ++f) {
+          const size_t ci = sid_offset[f] + bins.bin(i, f);
+          ++supports[ci];
+          estimates[ci] += influence[i];
+        }
       }
-      supports[ci] = support;
-      estimates[ci] = est;
-    });
+      fast_done = true;
+    } else if (options.fast_pair_scan && depth == 2 && num_sids <= 4096) {
+      // Dense (sid, sid) -> candidate-index table; rows then deposit into
+      // their d*(d-1)/2 matching pairs directly.
+      std::vector<int32_t> pair_ci(num_sids * num_sids, -1);
+      for (size_t ci = 0; ci < current.size(); ++ci) {
+        const auto& [f1, b1] = current[ci][0];
+        const auto& [f2, b2] = current[ci][1];
+        pair_ci[(sid_offset[f1] + b1) * num_sids + (sid_offset[f2] + b2)] =
+            static_cast<int32_t>(ci);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t f1 = 0; f1 + 1 < d; ++f1) {
+          const size_t sid1 = sid_offset[f1] + bins.bin(i, f1);
+          for (size_t f2 = f1 + 1; f2 < d; ++f2) {
+            const int32_t ci =
+                pair_ci[sid1 * num_sids + sid_offset[f2] + bins.bin(i, f2)];
+            if (ci < 0) continue;
+            ++supports[static_cast<size_t>(ci)];
+            estimates[static_cast<size_t>(ci)] += influence[i];
+          }
+        }
+      }
+      fast_done = true;
+    }
+    if (!fast_done) {
+      ParallelFor(0, current.size(), [&](size_t ci) {
+        const Conditions& cand = current[ci];
+        size_t support = 0;
+        double est = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (!bins.Matches(i, cand)) continue;
+          ++support;
+          est += influence[i];
+        }
+        supports[ci] = support;
+        estimates[ci] = est;
+      });
+    }
     // Collect the frequent and scored patterns in candidate order.
     std::vector<Conditions> next;
     for (size_t ci = 0; ci < current.size(); ++ci) {

@@ -40,6 +40,13 @@ struct GopherOptions {
   double min_support = 0.02;  ///< Of the training set.
   double max_support = 0.5;   ///< Patterns larger than this explain nothing.
   size_t top_k = 5;           ///< Patterns to verify by retraining.
+  /// Score length-1/2 candidates with a row-major scan (each row deposits
+  /// into the candidates it matches via a dense condition-id table)
+  /// instead of one full-data pass per candidate — a bins-fold (singles)
+  /// to bins^2-fold (pairs) reduction in work with bit-identical scores,
+  /// since each candidate still accumulates rows in ascending order.
+  /// Candidates of length >= 3 always use the per-candidate scan.
+  bool fast_pair_scan = true;
 };
 
 /// Gopher report: patterns sorted by descending estimated gap reduction.

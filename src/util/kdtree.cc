@@ -1,0 +1,130 @@
+#include "src/util/kdtree.h"
+
+#include <algorithm>
+
+namespace xfair {
+namespace {
+
+/// Max-heap comparator on (squared distance, row index): the worst
+/// candidate — largest distance, then largest index — sits at the front.
+inline bool HeapLess(const std::pair<double, size_t>& a,
+                     const std::pair<double, size_t>& b) {
+  return a.first < b.first || (a.first == b.first && a.second < b.second);
+}
+
+}  // namespace
+
+KdTree::KdTree(const Matrix& points, size_t leaf_size) : points_(points) {
+  XFAIR_CHECK(leaf_size > 0);
+  order_.resize(points_.rows());
+  for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!order_.empty()) {
+    nodes_.reserve(2 * order_.size() / leaf_size + 2);
+    Build(0, static_cast<uint32_t>(order_.size()), leaf_size);
+  }
+}
+
+int32_t KdTree::Build(uint32_t begin, uint32_t end, size_t leaf_size) {
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].begin = begin;
+  nodes_[id].end = end;
+  if (end - begin <= leaf_size) return id;
+
+  // Split on the dimension with the largest spread (ties -> smallest
+  // dimension) so elongated clouds split along their long axis. A zero
+  // spread everywhere means all points coincide: keep a leaf.
+  const size_t d = points_.cols();
+  int32_t split_dim = -1;
+  double best_spread = 0.0;
+  for (size_t c = 0; c < d; ++c) {
+    double lo = points_.At(order_[begin], c), hi = lo;
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      const double v = points_.At(order_[i], c);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      split_dim = static_cast<int32_t>(c);
+    }
+  }
+  if (split_dim < 0) return id;
+
+  // Median split ordered by (coordinate, row index): deterministic for
+  // any duplicate coordinates.
+  const uint32_t mid = begin + (end - begin) / 2;
+  const size_t sc = static_cast<size_t>(split_dim);
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     const double va = points_.At(a, sc);
+                     const double vb = points_.At(b, sc);
+                     return va < vb || (va == vb && a < b);
+                   });
+  nodes_[id].split_dim = split_dim;
+  nodes_[id].split_val = points_.At(order_[mid], sc);
+  const int32_t left = Build(begin, mid, leaf_size);
+  nodes_[id].left = left;
+  const int32_t right = Build(mid, end, leaf_size);
+  nodes_[id].right = right;
+  return id;
+}
+
+double KdTree::SquaredDistance(const double* q, size_t row) const {
+  const double* p = points_.RowPtr(row);
+  double acc = 0.0;
+  for (size_t c = 0; c < points_.cols(); ++c) {
+    const double diff = p[c] - q[c];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+void KdTree::Search(int32_t node, const double* q, size_t k,
+                    std::vector<std::pair<double, size_t>>* heap) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.split_dim < 0) {
+    for (uint32_t i = n.begin; i < n.end; ++i) {
+      const size_t row = order_[i];
+      const std::pair<double, size_t> cand(SquaredDistance(q, row), row);
+      if (heap->size() < k) {
+        heap->push_back(cand);
+        std::push_heap(heap->begin(), heap->end(), HeapLess);
+      } else if (HeapLess(cand, heap->front())) {
+        std::pop_heap(heap->begin(), heap->end(), HeapLess);
+        heap->back() = cand;
+        std::push_heap(heap->begin(), heap->end(), HeapLess);
+      }
+    }
+    return;
+  }
+  const double qv = q[static_cast<size_t>(n.split_dim)];
+  const double diff = qv - n.split_val;
+  const int32_t near = diff <= 0.0 ? n.left : n.right;
+  const int32_t far = diff <= 0.0 ? n.right : n.left;
+  Search(near, q, k, heap);
+  // The far half-space is at least diff^2 away. Prune only when every
+  // point there is *strictly* worse than the current k-th candidate, so
+  // equal-distance points still compete on row index.
+  if (heap->size() < k || diff * diff <= heap->front().first) {
+    Search(far, q, k, heap);
+  }
+}
+
+std::vector<size_t> KdTree::KNearest(const double* q, size_t k) const {
+  XFAIR_CHECK(k > 0 && k <= points_.rows());
+  std::vector<std::pair<double, size_t>> heap;
+  heap.reserve(k);
+  Search(0, q, k, &heap);
+  std::sort(heap.begin(), heap.end(), HeapLess);
+  std::vector<size_t> out(heap.size());
+  for (size_t i = 0; i < heap.size(); ++i) out[i] = heap[i].second;
+  return out;
+}
+
+std::vector<size_t> KdTree::KNearest(const Vector& q, size_t k) const {
+  XFAIR_CHECK(q.size() == points_.cols());
+  return KNearest(q.data(), k);
+}
+
+}  // namespace xfair

@@ -16,6 +16,7 @@
 #include "src/data/generators.h"
 #include "src/explain/counterfactual.h"
 #include "src/explain/shap.h"
+#include "src/explain/tree_shap.h"
 #include "src/model/decision_tree.h"
 #include "src/model/gbm.h"
 #include "src/model/knn.h"
@@ -246,6 +247,95 @@ TEST(ParallelUnfair, GopherTopKIsThreadCountInvariant) {
           EXPECT_EQ(a.patterns[i].verified_gap_change,
                     b.patterns[i].verified_gap_change);
         }
+      });
+}
+
+TEST(ParallelUnfair, FairnessShapTreeFastPathIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 507);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  ExpectSameAcrossThreadCounts<FairnessShapReport>(
+      [&] { return ExplainParityWithShapley(tree, data, {}); },
+      [](const FairnessShapReport& a, const FairnessShapReport& b) {
+        ASSERT_EQ(a.contributions.size(), b.contributions.size());
+        for (size_t i = 0; i < a.contributions.size(); ++i)
+          EXPECT_EQ(a.contributions[i], b.contributions[i]);
+        EXPECT_EQ(a.ranked_features, b.ranked_features);
+        EXPECT_EQ(a.baseline_gap, b.baseline_gap);
+        EXPECT_EQ(a.full_gap, b.full_gap);
+      });
+}
+
+TEST(ParallelExplain, TreeShapIsThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(300, 508);
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 12;
+  ASSERT_TRUE(forest.Fit(data, opts).ok());
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < 40; ++i) keep.push_back(i);
+  const Dataset background = data.Subset(keep);
+  const Vector x = data.instance(120);
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        // Dispatches to interventional TreeSHAP (reduction over
+        // background rows) for tree models.
+        Rng rng(509);
+        Vector phi = ShapExplainInstance(forest, background, x, 50, &rng);
+        const TreeShapExplanation pd = PathDependentTreeShap(forest, x);
+        phi.insert(phi.end(), pd.phi.begin(), pd.phi.end());
+        phi.push_back(pd.base_value);
+        return phi;
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(ParallelModel, KnnNeighborsAndBatchAreThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(300, 510);
+  Dataset probe = CreditGen().Generate(60, 511);
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  using Out = std::pair<std::vector<size_t>, Vector>;
+  ExpectSameAcrossThreadCounts<Out>(
+      [&] {
+        return Out{knn.Neighbors(probe.instance(0), 9),
+                   knn.PredictProbaBatch(probe.x())};
+      },
+      [](const Out& a, const Out& b) {
+        EXPECT_EQ(a.first, b.first);
+        ASSERT_EQ(a.second.size(), b.second.size());
+        for (size_t i = 0; i < a.second.size(); ++i)
+          EXPECT_EQ(a.second[i], b.second[i]);
+      });
+}
+
+TEST(ParallelExplain, SeededGroupCounterfactualsAreThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(120, 512);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  CounterfactualConfig config;
+  config.seed_radius_from_neighbors = true;
+  using Out = std::pair<std::vector<size_t>, std::vector<Vector>>;
+  ExpectSameAcrossThreadCounts<Out>(
+      [&] {
+        Rng rng(513);
+        auto group = CounterfactualsForNegatives(model, data, config, &rng);
+        std::vector<Vector> cfs;
+        for (const auto& r : group.results) cfs.push_back(r.counterfactual);
+        return Out{group.indices, cfs};
+      },
+      [](const Out& a, const Out& b) {
+        EXPECT_EQ(a.first, b.first);
+        ASSERT_EQ(a.second.size(), b.second.size());
+        for (size_t i = 0; i < a.second.size(); ++i)
+          EXPECT_EQ(a.second[i], b.second[i]);
       });
 }
 

@@ -1,0 +1,324 @@
+// Golden equivalence tests for the polynomial tree fast paths
+// (src/explain/tree_shap.h, src/util/kdtree.h, gopher's row-major scan):
+// every fast path is checked against the exponential / brute-force
+// reference it replaces.
+
+#include "src/explain/tree_shap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/generators.h"
+#include "src/explain/counterfactual.h"
+#include "src/model/knn.h"
+#include "src/model/logistic_regression.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/unfair/gopher.h"
+#include "src/util/kdtree.h"
+
+namespace xfair {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// The masking game ShapExplainInstance evaluates — the reference for the
+/// interventional algorithm.
+CoalitionValue MaskingGame(const Model& model, const Matrix& background,
+                           const Vector& x) {
+  return [&model, &background, x](const std::vector<bool>& mask) {
+    Matrix z(background.rows(), x.size());
+    for (size_t b = 0; b < background.rows(); ++b) {
+      const double* row = background.RowPtr(b);
+      double* out = z.RowPtr(b);
+      for (size_t c = 0; c < x.size(); ++c)
+        out[c] = mask[c] ? x[c] : row[c];
+    }
+    const Vector proba = model.PredictProbaBatch(z);
+    double acc = 0.0;
+    for (double p : proba) acc += p;
+    return acc / static_cast<double>(background.rows());
+  };
+}
+
+void ExpectNearVector(const Vector& a, const Vector& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << "feature " << i;
+}
+
+double Total(const Vector& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+class TreeShapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = CreditGen().Generate(600, 71);
+    for (size_t i = 0; i < 5; ++i) instances_.push_back(11 * i + 3);
+  }
+
+  Dataset data_;
+  std::vector<size_t> instances_;
+};
+
+TEST_F(TreeShapTest, PathDependentMatchesExactShapleyOnTree) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  for (size_t i : instances_) {
+    const Vector x = data_.instance(i);
+    const TreeShapExplanation fast = PathDependentTreeShap(tree, x);
+    const CoalitionValue game = PathDependentGame(tree, x);
+    const Vector exact = ExactShapley(game, x.size());
+    ExpectNearVector(fast.phi, exact, kTol);
+    // Efficiency: base + sum(phi) = v(full) = f(x); base = v(empty).
+    EXPECT_NEAR(fast.base_value + Total(fast.phi), tree.PredictProba(x),
+                kTol);
+    EXPECT_NEAR(fast.base_value, game(std::vector<bool>(x.size(), false)),
+                kTol);
+  }
+}
+
+TEST_F(TreeShapTest, PathDependentMatchesExactShapleyOnForest) {
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 12;
+  ASSERT_TRUE(forest.Fit(data_, opts).ok());
+  for (size_t i : instances_) {
+    const Vector x = data_.instance(i);
+    const TreeShapExplanation fast = PathDependentTreeShap(forest, x);
+    const Vector exact = ExactShapley(PathDependentGame(forest, x), x.size());
+    ExpectNearVector(fast.phi, exact, kTol);
+    EXPECT_NEAR(fast.base_value + Total(fast.phi), forest.PredictProba(x),
+                kTol);
+  }
+}
+
+TEST_F(TreeShapTest, PathDependentMarginMatchesExactShapleyOnGbm) {
+  GradientBoostedTrees gbm;
+  GbmOptions opts;
+  opts.num_rounds = 25;
+  ASSERT_TRUE(gbm.Fit(data_, opts).ok());
+  for (size_t i : instances_) {
+    const Vector x = data_.instance(i);
+    const TreeShapExplanation fast = PathDependentTreeShapMargin(gbm, x);
+    const CoalitionValue game = PathDependentGameMargin(gbm, x);
+    const Vector exact = ExactShapley(game, x.size());
+    ExpectNearVector(fast.phi, exact, kTol);
+    // The full-coalition margin must sigmoid to the model probability.
+    const double margin = fast.base_value + Total(fast.phi);
+    EXPECT_NEAR(1.0 / (1.0 + std::exp(-margin)), gbm.PredictProba(x), kTol);
+  }
+}
+
+TEST_F(TreeShapTest, InterventionalMatchesExactShapleyOnTree) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  Matrix background(30, data_.num_features());
+  for (size_t b = 0; b < background.rows(); ++b)
+    for (size_t c = 0; c < background.cols(); ++c)
+      background.At(b, c) = data_.x().At(b, c);
+  for (size_t i : instances_) {
+    const Vector x = data_.instance(i);
+    const TreeShapExplanation fast =
+        InterventionalTreeShap(tree, background, x);
+    const Vector exact =
+        ExactShapley(MaskingGame(tree, background, x), x.size());
+    ExpectNearVector(fast.phi, exact, kTol);
+    EXPECT_NEAR(fast.base_value + Total(fast.phi), tree.PredictProba(x),
+                kTol);
+  }
+}
+
+TEST_F(TreeShapTest, InterventionalMatchesExactShapleyOnForest) {
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 8;
+  ASSERT_TRUE(forest.Fit(data_, opts).ok());
+  Matrix background(20, data_.num_features());
+  for (size_t b = 0; b < background.rows(); ++b)
+    for (size_t c = 0; c < background.cols(); ++c)
+      background.At(b, c) = data_.x().At(3 * b, c);
+  for (size_t i : instances_) {
+    const Vector x = data_.instance(i);
+    const TreeShapExplanation fast =
+        InterventionalTreeShap(forest, background, x);
+    const Vector exact =
+        ExactShapley(MaskingGame(forest, background, x), x.size());
+    ExpectNearVector(fast.phi, exact, kTol);
+    EXPECT_NEAR(fast.base_value + Total(fast.phi), forest.PredictProba(x),
+                kTol);
+  }
+}
+
+TEST_F(TreeShapTest, ShapExplainInstanceDispatchesTreesToTreeShap) {
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 8;
+  ASSERT_TRUE(forest.Fit(data_, opts).ok());
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < 25; ++i) keep.push_back(i);
+  const Dataset background = data_.Subset(keep);
+  const Vector x = data_.instance(100);
+  Rng rng(5);
+  const Vector via_dispatch =
+      ShapExplainInstance(forest, background, x, 50, &rng);
+  const TreeShapExplanation direct =
+      InterventionalTreeShap(forest, background.x(), x);
+  // Same code path — bit-identical, not merely close.
+  ASSERT_EQ(via_dispatch.size(), direct.phi.size());
+  for (size_t c = 0; c < via_dispatch.size(); ++c)
+    EXPECT_EQ(via_dispatch[c], direct.phi[c]);
+}
+
+TEST_F(TreeShapTest, FairnessShapTreeFastPathMatchesGenericEngine) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(500, 73);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  FairnessShapOptions fast_opts;  // kMask + fast path by default.
+  FairnessShapOptions slow_opts = fast_opts;
+  slow_opts.use_tree_fast_path = false;
+  const FairnessShapReport fast =
+      ExplainParityWithShapley(tree, data, fast_opts);
+  const FairnessShapReport slow =
+      ExplainParityWithShapley(tree, data, slow_opts);
+  // d = 8 <= 10, so the generic engine is ExactShapley: both sides are
+  // exact solutions of the same game.
+  ExpectNearVector(fast.contributions, slow.contributions, kTol);
+  EXPECT_DOUBLE_EQ(fast.full_gap, slow.full_gap);
+  EXPECT_DOUBLE_EQ(fast.baseline_gap, slow.baseline_gap);
+  EXPECT_NEAR(Total(fast.contributions), fast.full_gap - fast.baseline_gap,
+              kTol);
+}
+
+// --- KD-tree ----------------------------------------------------------
+
+/// Brute-force (squared distance, index) reference over matrix rows.
+std::vector<size_t> BruteKnn(const Matrix& pts, const double* q, size_t k) {
+  std::vector<std::pair<double, size_t>> dist(pts.rows());
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    double acc = 0.0;
+    for (size_t c = 0; c < pts.cols(); ++c) {
+      const double diff = pts.At(i, c) - q[c];
+      acc += diff * diff;
+    }
+    dist[i] = {acc, i};
+  }
+  std::sort(dist.begin(), dist.end());
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+TEST(KdTree, MatchesBruteForceIncludingDuplicateRowTies) {
+  // Duplicate rows force exact-distance ties: the index must order them
+  // by ascending row id exactly as the stable brute force does.
+  Matrix pts(7, 2);
+  const double raw[7][2] = {{0, 0}, {1, 0}, {1, 0}, {0, 1},
+                            {1, 0}, {2, 2}, {0, 0}};
+  for (size_t r = 0; r < 7; ++r)
+    for (size_t c = 0; c < 2; ++c) pts.At(r, c) = raw[r][c];
+  const KdTree kd(pts, /*leaf_size=*/1);
+  const double q[2] = {1.0, 0.0};
+  EXPECT_EQ(kd.KNearest(q, 4), (std::vector<size_t>{1, 2, 4, 0}));
+  for (size_t k = 1; k <= 7; ++k) {
+    EXPECT_EQ(kd.KNearest(q, k), BruteKnn(pts, q, k)) << "k=" << k;
+  }
+  // Self-queries: the row itself is distance zero and must come first.
+  for (size_t r = 0; r < 7; ++r) {
+    const auto nn = kd.KNearest(pts.RowPtr(r), 7);
+    EXPECT_EQ(nn, BruteKnn(pts, pts.RowPtr(r), 7)) << "row " << r;
+  }
+}
+
+TEST(KdTree, MatchesBruteForceOnRealisticData) {
+  const Dataset data = CreditGen().Generate(400, 81);
+  const KdTree kd(data.x());
+  for (size_t qi : {0u, 17u, 200u, 399u}) {
+    const double* q = data.x().RowPtr(qi);
+    for (size_t k : {1u, 5u, 32u, 400u}) {
+      EXPECT_EQ(kd.KNearest(q, k), BruteKnn(data.x(), q, k))
+          << "query " << qi << " k=" << k;
+    }
+  }
+}
+
+TEST(KdTree, KnnClassifierIndexAgreesWithBruteForceScan) {
+  const Dataset data = CreditGen().Generate(350, 82);
+  KnnClassifier knn(5);
+  ASSERT_TRUE(knn.Fit(data).ok());
+  const Dataset probe = CreditGen().Generate(40, 83);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    const Vector x = probe.instance(i);
+    for (size_t k : {1u, 5u, 25u}) {
+      EXPECT_EQ(knn.Neighbors(x, k), knn.NeighborsBruteForce(x, k))
+          << "probe " << i << " k=" << k;
+    }
+  }
+  EXPECT_EQ(knn.Neighbors(probe.instance(0), data.size()),
+            knn.NeighborsBruteForce(probe.instance(0), data.size()));
+}
+
+// --- Gopher row-major scan --------------------------------------------
+
+TEST(GopherFastScan, MatchesCandidateMajorBaselineBitForBit) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(400, 91);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  GopherOptions fast_opts;  // fast_pair_scan on by default.
+  GopherOptions slow_opts = fast_opts;
+  slow_opts.fast_pair_scan = false;
+  const auto fast = ExplainUnfairnessByPatterns(model, data, fast_opts);
+  const auto slow = ExplainUnfairnessByPatterns(model, data, slow_opts);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_EQ(fast->patterns_examined, slow->patterns_examined);
+  EXPECT_EQ(fast->original_gap, slow->original_gap);
+  ASSERT_EQ(fast->patterns.size(), slow->patterns.size());
+  for (size_t i = 0; i < fast->patterns.size(); ++i) {
+    EXPECT_EQ(fast->patterns[i].description, slow->patterns[i].description);
+    EXPECT_EQ(fast->patterns[i].support, slow->patterns[i].support);
+    EXPECT_EQ(fast->patterns[i].estimated_gap_change,
+              slow->patterns[i].estimated_gap_change);
+    EXPECT_EQ(fast->patterns[i].verified_gap_change,
+              slow->patterns[i].verified_gap_change);
+  }
+}
+
+// --- Neighbor-seeded growing spheres ----------------------------------
+
+TEST(SeededCounterfactuals, StayValidAndFeasible) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(150, 95);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  CounterfactualConfig config;
+  config.seed_radius_from_neighbors = true;
+  Rng rng(96);
+  const auto group = CounterfactualsForNegatives(model, data, config, &rng);
+  ASSERT_FALSE(group.indices.empty());
+  size_t valid = 0;
+  for (size_t k = 0; k < group.indices.size(); ++k) {
+    const auto& r = group.results[k];
+    if (!r.valid) continue;
+    ++valid;
+    const Vector& x = data.instance(group.indices[k]);
+    EXPECT_EQ(model.Predict(r.counterfactual), config.target_class);
+    // Immutables pinned, directional features one-way (CreditGen schema).
+    EXPECT_DOUBLE_EQ(r.counterfactual[0], x[0]);
+    EXPECT_DOUBLE_EQ(r.counterfactual[1], x[1]);
+    EXPECT_GE(r.counterfactual[2], x[2]);
+    EXPECT_LE(r.counterfactual[5], x[5]);
+  }
+  EXPECT_GT(valid, group.indices.size() / 2);
+}
+
+}  // namespace
+}  // namespace xfair
