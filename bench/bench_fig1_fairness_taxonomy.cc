@@ -134,9 +134,9 @@ void PrintTasks() {
   }
   ranking.resize(100);
   t.AddRow({"Ranking", "fair-prefix p-value (income ranking, top-100)",
-            F(FairPrefixPValue(ranking, tuple_groups))});
+            F(*FairPrefixPValue(ranking, tuple_groups))});
   t.AddRow({"Ranking", "exposure gap (income ranking, top-100)",
-            F(ExposureGap(ranking, tuple_groups))});
+            F(*ExposureGap(ranking, tuple_groups))});
 
   t.AddRow({"Graphs", "SGC parity gap on homophilous SBM",
             F(SgcParityGap(ctx.sgc, ctx.graph.groups))});

@@ -14,6 +14,12 @@
 // numbers scraped from stdout. Determinism makes the comparisons honest:
 // every run produces bit-identical results, so the only difference is
 // wall time.
+//
+// After the timed measurements, the optimized workload runs once more
+// with tracing force-enabled; the artifact then also carries "stages"
+// (per-XFAIR_SPAN wall-time breakdown: count / total_ms / self_ms) and
+// "counters" (the obs counters that advanced during that run). The timed
+// numbers are never taken with tracing on.
 
 #ifndef XFAIR_BENCH_BENCH_JSON_H_
 #define XFAIR_BENCH_BENCH_JSON_H_
@@ -24,7 +30,9 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -52,9 +60,46 @@ inline size_t BenchThreads() {
   return 4;
 }
 
+/// Per-stage breakdown of one profiled run, JSON-ready. Captured by
+/// running the workload once more with tracing force-enabled: "stages" is
+/// the span aggregate (total/self wall ms per XFAIR_SPAN name) and
+/// "counters" holds the counters that advanced during the run. Purely
+/// observational — the timed measurements above never run with tracing on.
+struct ProfiledRun {
+  std::string stages_json = "[]";    ///< Array of stage objects.
+  std::string counters_json = "{}";  ///< Object of counter deltas.
+};
+
+inline ProfiledRun ProfileWorkload(const std::function<void()>& workload) {
+  std::unordered_map<std::string, uint64_t> before;
+  for (const auto& c : obs::SnapshotCounters()) before[c.name] = c.value;
+  obs::FlushSpans();  // Discard anything recorded before the profile run.
+  const bool was_tracing = obs::TracingEnabled();
+  obs::SetTracingEnabled(true);
+  workload();
+  obs::SetTracingEnabled(was_tracing);
+  ProfiledRun out;
+  out.stages_json = obs::StagesToJson(obs::AggregateStages(obs::FlushSpans()));
+  std::string deltas = "{";
+  bool first = true;
+  for (const auto& c : obs::SnapshotCounters()) {
+    const auto it = before.find(c.name);
+    const uint64_t delta =
+        it == before.end() ? c.value : c.value - it->second;
+    if (delta == 0) continue;
+    deltas += first ? "\n" : ",\n";
+    first = false;
+    deltas += "    \"" + c.name + "\": " + std::to_string(delta);
+  }
+  deltas += first ? "}" : "\n  }";
+  out.counters_json = std::move(deltas);
+  return out;
+}
+
 inline void WriteBenchJson(const std::string& name, double baseline_ms,
                            double optimized_ms, double serial_ms,
-                           double parallel_ms, size_t threads) {
+                           double parallel_ms, size_t threads,
+                           const ProfiledRun& profile = {}) {
   const double algo_speedup =
       optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
@@ -74,11 +119,14 @@ inline void WriteBenchJson(const std::string& name, double baseline_ms,
                "  \"parallel_ms\": %.3f,\n"
                "  \"speedup\": %.3f,\n"
                "  \"threads\": %zu,\n"
-               "  \"hardware_concurrency\": %u\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"stages\": %s,\n"
+               "  \"counters\": %s\n"
                "}\n",
                name.c_str(), baseline_ms, optimized_ms, algo_speedup,
                serial_ms, parallel_ms, speedup, threads,
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(),
+               profile.stages_json.c_str(), profile.counters_json.c_str());
   std::fclose(f);
   std::printf("[bench_json] %s: baseline %.1f ms, optimized %.1f ms "
               "(algo %.2fx); serial %.1f ms, %zu-thread %.1f ms "
@@ -102,9 +150,10 @@ inline void RecordParallelSpeedup(const std::string& name,
   const double serial_ms = bench_json_internal::TimeMs(workload, repeats);
   SetParallelThreads(threads);
   const double parallel_ms = bench_json_internal::TimeMs(workload, repeats);
+  const auto profile = bench_json_internal::ProfileWorkload(workload);
   SetParallelThreads(0);
   bench_json_internal::WriteBenchJson(name, serial_ms, serial_ms, serial_ms,
-                                      parallel_ms, threads);
+                                      parallel_ms, threads, profile);
 }
 
 /// Times `baseline` and `optimized` with the pool pinned to one worker —
@@ -122,9 +171,11 @@ inline void RecordAlgoSpeedup(const std::string& name,
   const double optimized_ms = bench_json_internal::TimeMs(optimized, repeats);
   SetParallelThreads(threads);
   const double parallel_ms = bench_json_internal::TimeMs(optimized, repeats);
+  const auto profile = bench_json_internal::ProfileWorkload(optimized);
   SetParallelThreads(0);
   bench_json_internal::WriteBenchJson(name, baseline_ms, optimized_ms,
-                                      optimized_ms, parallel_ms, threads);
+                                      optimized_ms, parallel_ms, threads,
+                                      profile);
 }
 
 }  // namespace xfair

@@ -11,8 +11,13 @@
 //     classic per-row pointer walk over the node arrays.
 //  c. BENCH_knn_index.json — KD-tree k-nearest-neighbor queries vs the
 //     O(n*d) brute-force scan. Both return identical index sets.
+//  d. BENCH_obs_overhead.json — a span/counter-dense workload with
+//     tracing force-enabled ("baseline") vs the shipped tracing-off
+//     default ("optimized"): the runtime toggle must reduce the
+//     observability cost to noise (and XFAIR_OBS=0 compiles even the
+//     disabled checks away entirely).
 //
-// All three comparisons are exact drop-ins (golden tests in
+// The first three comparisons are exact drop-ins (golden tests in
 // tests/tree_shap_test.cc pin bit-level agreement), so wall time is the
 // only difference being measured.
 
@@ -184,6 +189,44 @@ void PrintOnce() {
           }
           benchmark::DoNotOptimize(acc);
         });
+  }
+
+  // d. Observability overhead: the same span/counter-dense workload
+  // (per-instance TreeSHAP spans + per-query KD-tree counters) with
+  // tracing force-enabled vs the shipped tracing-off default. The
+  // "algo_speedup" field reads as "overhead removed by the runtime
+  // toggle"; 1.0x means free.
+  {
+    Dataset data = WideDataset(1200, 305);
+    DecisionTree tree;
+    DecisionTreeOptions opts;
+    opts.max_depth = 8;
+    opts.min_samples_leaf = 4;
+    XFAIR_CHECK(tree.Fit(data, opts).ok());
+    Dataset train = WideDataset(4000, 306, 6);
+    Dataset queries = WideDataset(200, 307, 6);
+    KnnClassifier knn(5);
+    XFAIR_CHECK(knn.Fit(train).ok());
+    auto workload = [&] {
+      for (size_t i = 0; i < 200; ++i) {
+        benchmark::DoNotOptimize(
+            PathDependentTreeShap(tree, data.instance(i)));
+      }
+      size_t acc = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        acc += knn.Neighbors(queries.instance(i), 5)[0];
+      }
+      benchmark::DoNotOptimize(acc);
+    };
+    RecordAlgoSpeedup(
+        "obs_overhead",
+        [&] {
+          obs::SetTracingEnabled(true);
+          workload();
+          obs::SetTracingEnabled(false);
+          obs::FlushSpans();  // Drain so buffers never grow unboundedly.
+        },
+        workload, /*repeats=*/5);
   }
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, the same suite with the pool
-# forced to 4 workers, and the parallel runtime under ThreadSanitizer.
-# With --bench, additionally regenerates the BENCH_*.json artifacts via
-# scripts/bench.sh (Release build; slower).
+# forced to 4 workers, the parallel runtime under ThreadSanitizer, the
+# full suite under Address+UndefinedBehaviorSanitizer, and an XFAIR_OBS=0
+# compile check (spans/counters compiled to no-ops). With --bench,
+# additionally regenerates the BENCH_*.json artifacts via scripts/bench.sh
+# (Release build; slower).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,19 @@ echo "== parallel_test under ThreadSanitizer (XFAIR_THREADS=8) =="
 cmake -B build-tsan -S . -DXFAIR_TSAN=ON > /dev/null
 cmake --build build-tsan -j --target parallel_test
 XFAIR_THREADS=8 ./build-tsan/tests/parallel_test
+
+echo
+echo "== full suite under ASan + UBSan =="
+cmake -B build-asan -S . -DXFAIR_ASAN=ON -DXFAIR_UBSAN=ON > /dev/null
+cmake --build build-asan -j --target xfair_tests parallel_test
+./build-asan/tests/xfair_tests
+XFAIR_THREADS=4 ./build-asan/tests/parallel_test
+
+echo
+echo "== XFAIR_OBS=0 compile check (spans/counters as no-ops) =="
+cmake -B build-noobs -S . -DXFAIR_OBS=OFF > /dev/null
+cmake --build build-noobs -j --target xfair_tests
+./build-noobs/tests/xfair_tests --gtest_filter='Counters.*:Tracer.*:BitIdentity.*'
 
 if [[ "$run_bench" == 1 ]]; then
   echo

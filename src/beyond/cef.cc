@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/fairness/ranking_metrics.h"
+#include "src/util/check.h"
 
 namespace xfair {
 namespace {
@@ -37,7 +38,9 @@ void EvaluateDamped(const MatrixFactorization& model,
     const auto ranking = RankDamped(model, interactions, u, k, factor,
                                     scale);
     if (ranking.empty()) continue;
-    gap_acc += ExposureGap(ranking, item_groups);
+    const Result<double> gap = ExposureGap(ranking, item_groups);
+    XFAIR_CHECK(gap.ok());  // RankDamped emits only valid item ids.
+    gap_acc += *gap;
     // Utility: the *undamped* affinity of what was recommended.
     double s = 0.0;
     for (size_t i : ranking) s += model.Score(u, i);

@@ -62,7 +62,9 @@ double MeanAbsExposureGap(const AttributeRecommender& model,
   for (size_t u = 0; u < model.interactions().num_users(); ++u) {
     const auto ranking = model.RankItems(u, k, masked);
     if (ranking.empty()) continue;
-    acc += ExposureGap(ranking, item_groups);
+    const Result<double> gap = ExposureGap(ranking, item_groups);
+    XFAIR_CHECK(gap.ok());  // RankItems emits only valid item ids.
+    acc += *gap;
     ++users;
   }
   return users ? std::fabs(acc / static_cast<double>(users)) : 0.0;

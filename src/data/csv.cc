@@ -4,18 +4,59 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <vector>
 
 namespace xfair {
 namespace {
 
-std::vector<std::string> SplitComma(const std::string& line) {
+/// Splits one CSV record per RFC 4180: fields separated by commas, a field
+/// may be double-quoted, and a quoted field may contain commas and escaped
+/// quotes (""). A trailing CR (from CRLF line endings) is stripped before
+/// parsing. Malformed quoting — an unterminated quoted field, or a quote
+/// inside an unquoted field — is an InvalidArgument; callers append the
+/// line number.
+Result<std::vector<std::string>> SplitCsvLine(std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
   std::vector<std::string> out;
   std::string cell;
-  std::stringstream ss(line);
-  while (std::getline(ss, cell, ',')) out.push_back(cell);
-  if (!line.empty() && line.back() == ',') out.push_back("");
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';  // Escaped quote inside a quoted field.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      if (!cell.empty() || cell_was_quoted) {
+        return Status::InvalidArgument(
+            "unexpected '\"' inside unquoted field");
+      }
+      in_quotes = true;
+      cell_was_quoted = true;
+    } else if (ch == ',') {
+      out.push_back(std::move(cell));
+      cell.clear();
+      cell_was_quoted = false;
+    } else {
+      if (cell_was_quoted) {
+        return Status::InvalidArgument(
+            "unexpected character after closing '\"'");
+      }
+      cell += ch;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  out.push_back(std::move(cell));
   return out;
 }
 
@@ -31,11 +72,28 @@ Result<double> ParseDouble(const std::string& s) {
 
 }  // namespace
 
+namespace {
+
+/// Quotes a header cell when it contains a comma, quote, or CR/LF, per
+/// RFC 4180, so WriteCsv output always round-trips through ReadCsv.
+std::string QuoteIfNeeded(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 Status WriteCsv(const Dataset& data, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open for write: " + path);
   for (size_t c = 0; c < data.num_features(); ++c)
-    out << data.schema().feature(c).name << ",";
+    out << QuoteIfNeeded(data.schema().feature(c).name) << ",";
   out << "label,group\n";
   for (size_t r = 0; r < data.size(); ++r) {
     for (size_t c = 0; c < data.num_features(); ++c)
@@ -53,7 +111,12 @@ Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
   if (!std::getline(in, line))
     return Status::InvalidArgument("empty CSV: " + path);
   const size_t expected = schema.num_features() + 2;
-  if (SplitComma(line).size() != expected) {
+  Result<std::vector<std::string>> header = SplitCsvLine(line);
+  if (!header.ok()) {
+    return Status::InvalidArgument(header.status().message() +
+                                   " at line 1 in " + path);
+  }
+  if (header->size() != expected) {
     return Status::InvalidArgument("header width mismatch in " + path);
   }
 
@@ -62,8 +125,13 @@ Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
   size_t lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty()) continue;
-    const auto cells = SplitComma(line);
+    if (line.empty() || line == "\r") continue;
+    Result<std::vector<std::string>> split = SplitCsvLine(line);
+    if (!split.ok()) {
+      return Status::InvalidArgument(split.status().message() + " at line " +
+                                     std::to_string(lineno));
+    }
+    const std::vector<std::string>& cells = *split;
     if (cells.size() != expected) {
       return Status::InvalidArgument("row width mismatch at line " +
                                      std::to_string(lineno));
@@ -97,7 +165,12 @@ Result<Schema> InferSchemaFromCsv(const std::string& path) {
   std::string line;
   if (!std::getline(in, line))
     return Status::InvalidArgument("empty CSV: " + path);
-  auto header = SplitComma(line);
+  Result<std::vector<std::string>> header_r = SplitCsvLine(line);
+  if (!header_r.ok()) {
+    return Status::InvalidArgument(header_r.status().message() +
+                                   " at line 1 in " + path);
+  }
+  const std::vector<std::string>& header = *header_r;
   if (header.size() < 3 || header[header.size() - 2] != "label" ||
       header.back() != "group") {
     return Status::InvalidArgument(
@@ -111,8 +184,13 @@ Result<Schema> InferSchemaFromCsv(const std::string& path) {
   size_t rows = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty()) continue;
-    const auto cells = SplitComma(line);
+    if (line.empty() || line == "\r") continue;
+    Result<std::vector<std::string>> split = SplitCsvLine(line);
+    if (!split.ok()) {
+      return Status::InvalidArgument(split.status().message() + " at line " +
+                                     std::to_string(lineno));
+    }
+    const std::vector<std::string>& cells = *split;
     if (cells.size() != header.size()) {
       return Status::InvalidArgument("row width mismatch at line " +
                                      std::to_string(lineno));

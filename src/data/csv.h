@@ -19,7 +19,9 @@ Status WriteCsv(const Dataset& data, const std::string& path);
 /// Reads a CSV previously produced by WriteCsv (or hand-built with the same
 /// layout): the header must end with "label,group", all cells must parse as
 /// doubles, labels/groups must be 0/1, and column count must match
-/// `schema`.
+/// `schema`. Fields follow RFC 4180: a field may be double-quoted and then
+/// contain commas and escaped quotes (""), and CRLF line endings are
+/// accepted. Malformed quoting yields an InvalidArgument naming the line.
 Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
 
 /// Infers a workable schema from a CSV in WriteCsv layout: feature names

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/obs/obs.h"
 #include "src/util/kdtree.h"
 #include "src/util/parallel.h"
 
@@ -109,6 +110,7 @@ CounterfactualResult WachterCounterfactual(
     const GradientModel& model, const Schema& schema, const Vector& x,
     const CounterfactualConfig& config) {
   XFAIR_CHECK(x.size() == schema.num_features());
+  XFAIR_SPAN("cf/wachter");
   const int target = config.target_class;
   if (model.Predict(x) == target) {
     CounterfactualResult r;
@@ -165,6 +167,7 @@ CounterfactualResult GrowingSpheresCounterfactual(
     const CounterfactualConfig& config, Rng* rng) {
   XFAIR_CHECK(rng != nullptr);
   XFAIR_CHECK(x.size() == schema.num_features());
+  XFAIR_SPAN("cf/growing_spheres");
   const int target = config.target_class;
   if (model.Predict(x) == target) {
     CounterfactualResult r;
@@ -231,16 +234,23 @@ CounterfactualResult GrowingSpheresCounterfactual(
       }
     }
     if (!best_cand.empty()) {
+      XFAIR_COUNTER_ADD("cf/samples_evaluated", (iter + 1) * samples);
+      XFAIR_HISTOGRAM_OBSERVE("cf/search_iterations", iter + 1);
       return Finish(model, schema, x, std::move(best_cand), target, iter);
     }
     radius *= config.radius_growth;
   }
+  XFAIR_COUNTER_ADD("cf/samples_evaluated",
+                    config.max_iterations * config.samples_per_sphere);
+  XFAIR_HISTOGRAM_OBSERVE("cf/search_iterations", config.max_iterations);
+  XFAIR_COUNTER_ADD("cf/search_failures", 1);
   return Invalid(x, iter);
 }
 
 GroupCounterfactuals CounterfactualsForNegatives(
     const Model& model, const Dataset& data,
     const CounterfactualConfig& config, Rng* rng) {
+  XFAIR_SPAN("cf/group_search");
   GroupCounterfactuals out;
   // One batched pass finds the negatives; each then gets an independent
   // forked Rng stream keyed on its row index, so the per-instance

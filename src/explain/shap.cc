@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/explain/tree_shap.h"
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -42,8 +43,12 @@ double CoalitionCache::operator()(const std::vector<bool>& mask) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      XFAIR_COUNTER_ADD("shap/coalition_cache_hit", 1);
+      return it->second;
+    }
   }
+  XFAIR_COUNTER_ADD("shap/coalition_cache_miss", 1);
   // Compute outside the lock so expensive value functions (retraining a
   // coalition model, scoring a background batch) run concurrently. A
   // racing duplicate computes the identical value, so first-write-wins
@@ -72,7 +77,9 @@ CoalitionValue CoalitionCache::AsValue() {
 Vector ExactShapley(const CoalitionValue& value, size_t d) {
   XFAIR_CHECK(d > 0);
   XFAIR_CHECK_MSG(d <= 20, "exact Shapley limited to 20 players");
+  XFAIR_SPAN("shap/exact");
   const size_t num_subsets = size_t{1} << d;
+  XFAIR_COUNTER_ADD("shap/coalitions_evaluated", num_subsets);
 
   // Evaluate every coalition once, fanned out across the pool. Each
   // subset writes its own slot, so the fill order is irrelevant.
@@ -115,6 +122,8 @@ Vector SampledShapley(const CoalitionValue& value, size_t d,
                       SampledShapleyInfo* info) {
   XFAIR_CHECK(d > 0 && permutations > 0);
   XFAIR_CHECK(rng != nullptr);
+  XFAIR_SPAN("shap/sampled");
+  XFAIR_COUNTER_ADD("shap/permutations", permutations);
   CoalitionCache cache(value, d);
 
   // Antithetic pairs: pair p walks permutation 2p forward and — if the
@@ -162,6 +171,7 @@ Vector ShapExplainInstance(const Model& model, const Dataset& background,
                            const Vector& x, size_t permutations, Rng* rng) {
   XFAIR_CHECK(background.size() > 0);
   XFAIR_CHECK(x.size() == background.num_features());
+  XFAIR_SPAN("shap/explain_instance");
   // Tree models admit an exact polynomial solution of this very masking
   // game — route them to interventional TreeSHAP (same semantics, exact
   // at any dimensionality, no coalition enumeration or sampling).

@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -270,6 +271,8 @@ double ExpValue(const std::vector<ShapNode>& nodes, int id,
 TreeShapExplanation PathDependentTreeShap(const DecisionTree& tree,
                                           const Vector& x) {
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/path_dependent");
+  XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
   const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
   XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
   TreeShapExplanation out;
@@ -282,6 +285,8 @@ TreeShapExplanation PathDependentTreeShap(const DecisionTree& tree,
 TreeShapExplanation PathDependentTreeShap(const RandomForest& forest,
                                           const Vector& x) {
   XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/path_dependent");
+  XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
   const std::vector<DecisionTree>& trees = forest.trees();
   const size_t d = x.size();
   const size_t num_trees = trees.size();
@@ -306,6 +311,8 @@ TreeShapExplanation PathDependentTreeShap(const RandomForest& forest,
 TreeShapExplanation PathDependentTreeShapMargin(
     const GradientBoostedTrees& gbm, const Vector& x) {
   XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/path_dependent");
+  XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
   const auto& trees = gbm.trees();
   const size_t d = x.size();
   Vector acc = ParallelReduceVector(
@@ -330,6 +337,9 @@ TreeShapExplanation InterventionalTreeShap(const DecisionTree& tree,
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
   XFAIR_CHECK(background.rows() > 0);
   XFAIR_CHECK(x.size() == background.cols());
+  XFAIR_SPAN("tree_shap/interventional");
+  XFAIR_COUNTER_ADD("tree_shap/interventional_calls", 1);
+  XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
   const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
   XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
   const size_t d = x.size();
@@ -355,6 +365,9 @@ TreeShapExplanation InterventionalTreeShap(const RandomForest& forest,
   XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
   XFAIR_CHECK(background.rows() > 0);
   XFAIR_CHECK(x.size() == background.cols());
+  XFAIR_SPAN("tree_shap/interventional");
+  XFAIR_COUNTER_ADD("tree_shap/interventional_calls", 1);
+  XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
   const size_t d = x.size();
   std::vector<std::vector<ShapNode>> all;
   all.reserve(forest.trees().size());
@@ -389,6 +402,8 @@ Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
   XFAIR_CHECK(rows.size() == weights.size());
   XFAIR_CHECK(z.size() == xs.cols());
+  XFAIR_SPAN("tree_shap/thresholded");
+  XFAIR_COUNTER_ADD("tree_shap/thresholded_calls", 1);
   std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
   XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(z.size()));
   for (ShapNode& n : nodes) n.value = n.value >= tau ? 1.0 : 0.0;

@@ -5,6 +5,12 @@
 // (G- value) - (G+ value) for rates where higher is better for the
 // individual, so a positive value always reads "the protected group is
 // worse off".
+//
+// Single-group datasets (either group empty) have no between-group
+// comparison to make: every difference metric returns 0, the disparate
+// impact ratio returns 1, and the calibration gap returns 0 — the "fair"
+// sentinels — instead of comparing a real rate against an empty group's
+// vacuous zero.
 
 #ifndef XFAIR_FAIRNESS_GROUP_METRICS_H_
 #define XFAIR_FAIRNESS_GROUP_METRICS_H_

@@ -2,21 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
-#include "src/util/check.h"
 #include "src/util/stats.h"
 
 namespace xfair {
+namespace {
+
+/// Every ranked item id must index into `item_groups`; a miss is a caller
+/// bug surfaced as a Status (not an abort) because rankings often come
+/// from external data.
+Status ValidateRanking(const std::vector<size_t>& ranking,
+                       const std::vector<int>& item_groups) {
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    if (ranking[r] >= item_groups.size()) {
+      return Status::InvalidArgument(
+          "ranking item " + std::to_string(ranking[r]) + " at rank " +
+          std::to_string(r) + " is outside item_groups (size " +
+          std::to_string(item_groups.size()) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 double PositionBias(size_t rank) {
   return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
 }
 
-double ExposureShare(const std::vector<size_t>& ranking,
-                     const std::vector<int>& item_groups) {
+Result<double> ExposureShare(const std::vector<size_t>& ranking,
+                             const std::vector<int>& item_groups) {
+  Status valid = ValidateRanking(ranking, item_groups);
+  if (!valid.ok()) return valid;
   double total = 0.0, g1 = 0.0;
   for (size_t r = 0; r < ranking.size(); ++r) {
-    XFAIR_CHECK(ranking[r] < item_groups.size());
     const double w = PositionBias(r);
     total += w;
     if (item_groups[ranking[r]] == 1) g1 += w;
@@ -24,26 +44,30 @@ double ExposureShare(const std::vector<size_t>& ranking,
   return total > 0.0 ? g1 / total : 0.0;
 }
 
-double ExposureGap(const std::vector<size_t>& ranking,
-                   const std::vector<int>& item_groups) {
+Result<double> ExposureGap(const std::vector<size_t>& ranking,
+                           const std::vector<int>& item_groups) {
+  Status valid = ValidateRanking(ranking, item_groups);
+  if (!valid.ok()) return valid;
   if (ranking.empty()) return 0.0;
   size_t n1 = 0;
   for (size_t item : ranking) {
-    XFAIR_CHECK(item < item_groups.size());
     n1 += static_cast<size_t>(item_groups[item] == 1);
   }
   const double representation =
       static_cast<double>(n1) / static_cast<double>(ranking.size());
-  return ExposureShare(ranking, item_groups) - representation;
+  Result<double> share = ExposureShare(ranking, item_groups);
+  if (!share.ok()) return share.status();
+  return *share - representation;
 }
 
-double FairPrefixPValue(const std::vector<size_t>& ranking,
-                        const std::vector<int>& item_groups,
-                        size_t min_prefix) {
+Result<double> FairPrefixPValue(const std::vector<size_t>& ranking,
+                                const std::vector<int>& item_groups,
+                                size_t min_prefix) {
+  Status valid = ValidateRanking(ranking, item_groups);
+  if (!valid.ok()) return valid;
   if (ranking.empty()) return 1.0;
   size_t n1 = 0;
   for (size_t item : ranking) {
-    XFAIR_CHECK(item < item_groups.size());
     n1 += static_cast<size_t>(item_groups[item] == 1);
   }
   const double p =

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace xfair {
 
 /// Position-bias weight of rank r (0-based): 1 / log2(r + 2), the standard
@@ -17,14 +19,18 @@ double PositionBias(size_t rank);
 
 /// Share of total exposure received by items of group 1.
 /// `ranking[r]` is the item at rank r; `item_groups[item]` in {0, 1}.
-double ExposureShare(const std::vector<size_t>& ranking,
-                     const std::vector<int>& item_groups);
+/// An item id outside `item_groups` is an InvalidArgument naming the rank.
+/// An empty ranking has no exposure to share: returns 0.
+Result<double> ExposureShare(const std::vector<size_t>& ranking,
+                             const std::vector<int>& item_groups);
 
 /// Exposure gap: (share of exposure of group 1) - (share of items of
 /// group 1 in the ranked list). 0 means exposure proportional to
 /// representation; negative means group 1 is pushed down the list.
-double ExposureGap(const std::vector<size_t>& ranking,
-                   const std::vector<int>& item_groups);
+/// An item id outside `item_groups` is an InvalidArgument naming the rank.
+/// An empty or single-group ranking is trivially proportional: returns 0.
+Result<double> ExposureGap(const std::vector<size_t>& ranking,
+                           const std::vector<int>& item_groups);
 
 /// Probability-based fairness: for every prefix of the ranking, computes
 /// the binomial tail probability of seeing at most the observed number of
@@ -32,9 +38,12 @@ double ExposureGap(const std::vector<size_t>& ranking,
 /// P(protected) = overall protected share. Returns the minimum tail
 /// probability over prefixes of length >= `min_prefix` — a small value
 /// means some prefix under-represents the protected group beyond chance.
-double FairPrefixPValue(const std::vector<size_t>& ranking,
-                        const std::vector<int>& item_groups,
-                        size_t min_prefix = 3);
+/// An item id outside `item_groups` is an InvalidArgument naming the rank.
+/// An empty or single-group ranking gives the test nothing to reject:
+/// returns 1.
+Result<double> FairPrefixPValue(const std::vector<size_t>& ranking,
+                                const std::vector<int>& item_groups,
+                                size_t min_prefix = 3);
 
 }  // namespace xfair
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -20,6 +21,7 @@ double Gini(double pos_weight, double total_weight) {
 Status DecisionTree::Fit(const Dataset& data,
                          const DecisionTreeOptions& options,
                          const Vector& instance_weights) {
+  XFAIR_SPAN("model/fit/decision_tree");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
   if (!instance_weights.empty() && instance_weights.size() != data.size()) {
     return Status::InvalidArgument("instance_weights size mismatch");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -109,6 +110,7 @@ double TreeValue(const std::vector<GbmNode>& nodes, const double* x) {
 
 Status GradientBoostedTrees::Fit(const Dataset& data,
                                  const GbmOptions& options) {
+  XFAIR_SPAN("model/fit/gbm");
   const size_t n = data.size();
   if (n == 0) return Status::InvalidArgument("empty training set");
   if (options.num_rounds == 0) {
@@ -170,6 +172,7 @@ double GradientBoostedTrees::PredictProba(const Vector& x) const {
 Vector GradientBoostedTrees::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
+  XFAIR_COUNTER_ADD("flat_tree/batch_rows", x.rows());
   Vector out(x.rows());
   ParallelFor(0, x.rows(), [&](size_t i) {
     out[i] = Sigmoid(flat_.ScaledSumRow(x.RowPtr(i), learning_rate_, bias_));

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
 
 Status KnnClassifier::Fit(const Dataset& data) {
+  XFAIR_SPAN("model/fit/knn");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
   if (k_ == 0) return Status::InvalidArgument("k must be positive");
   if (k_ > data.size()) {

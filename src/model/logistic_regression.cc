@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -21,6 +22,7 @@ double Sigmoid(double z) {
 Status LogisticRegression::Fit(const Dataset& data,
                                const LogisticRegressionOptions& options,
                                const Vector& instance_weights) {
+  XFAIR_SPAN("model/fit/logistic_regression");
   const size_t n = data.size();
   const size_t d = data.num_features();
   if (n == 0) return Status::InvalidArgument("empty training set");

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
 
 Status RandomForest::Fit(const Dataset& data,
                          const RandomForestOptions& options) {
+  XFAIR_SPAN("model/fit/random_forest");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
   if (options.num_trees == 0)
     return Status::InvalidArgument("num_trees must be positive");
@@ -56,6 +58,7 @@ double RandomForest::PredictProba(const Vector& x) const {
 Vector RandomForest::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
+  XFAIR_COUNTER_ADD("flat_tree/batch_rows", x.rows());
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
               [&](size_t i) { out[i] = flat_.MeanRow(x.RowPtr(i)); });

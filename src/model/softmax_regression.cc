@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -11,6 +12,7 @@ Status SoftmaxRegression::Fit(const Matrix& x,
                               const std::vector<int>& labels,
                               size_t num_classes,
                               const SoftmaxRegressionOptions& options) {
+  XFAIR_SPAN("model/fit/softmax_regression");
   const size_t n = x.rows();
   const size_t d = x.cols();
   if (n == 0) return Status::InvalidArgument("empty training set");

@@ -1,0 +1,115 @@
+// Named monotonic counters and histograms for hot-path instrumentation.
+//
+// Counters are process-global, created on first use and interned by name
+// (stable addresses for the lifetime of the process). Increments are
+// relaxed atomic adds, so instrumented code stays bit-identical — the
+// counters observe the computation without participating in it — and the
+// per-increment cost is a single uncontended atomic RMW. The intended
+// usage pattern caches the lookup in a function-local static:
+//
+//   XFAIR_COUNTER_ADD("kdtree/nodes_visited", visited);   // from obs.h
+//
+// Histograms bucket observations by power of two (bucket i holds values
+// v with bit_width(v) == i), which is enough resolution for "how many
+// nodes did a query visit" distributions at near-counter cost.
+//
+// Snapshots sort by name, so exports are deterministic for a given set
+// of counter values regardless of creation order.
+
+#ifndef XFAIR_OBS_COUNTERS_H_
+#define XFAIR_OBS_COUNTERS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xfair::obs {
+
+/// A named monotonic counter. Obtain via GetCounter; never destroyed.
+class Counter {
+ public:
+  /// Relaxed atomic increment; safe from any thread.
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  /// Construction is reserved for the registry; use GetCounter.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A named histogram over uint64 observations with power-of-two buckets:
+/// bucket i counts values whose bit width is i (bucket 0 is exactly 0).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  /// Relaxed atomic observation; safe from any thread.
+  void Observe(uint64_t v) {
+    const size_t b = v == 0 ? 0 : static_cast<size_t>(64 - __builtin_clzll(v));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean observation; 0 when empty.
+  double mean() const;
+  /// Per-bucket counts, index = bit width of the observed value.
+  std::array<uint64_t, kBuckets> BucketCounts() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+  /// Construction is reserved for the registry; use GetHistogram.
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Interns and returns the counter named `name`. The reference stays
+/// valid for the process lifetime; repeated calls return the same object.
+Counter& GetCounter(std::string_view name);
+
+/// Interns and returns the histogram named `name` (process lifetime).
+Histogram& GetHistogram(std::string_view name);
+
+/// One counter's value at snapshot time.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One histogram's aggregate at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+};
+
+/// All registered counters, sorted by name (deterministic export order).
+std::vector<CounterSnapshot> SnapshotCounters();
+
+/// All registered histograms, sorted by name.
+std::vector<HistogramSnapshot> SnapshotHistograms();
+
+/// Zeroes every registered counter and histogram. Counter identities are
+/// preserved (the registry is never shrunk).
+void ResetAllCounters();
+
+}  // namespace xfair::obs
+
+#endif  // XFAIR_OBS_COUNTERS_H_

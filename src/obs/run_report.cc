@@ -1,0 +1,134 @@
+#include "src/obs/run_report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace xfair::obs {
+namespace {
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t DatasetFingerprint(const Dataset& data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const size_t n = data.size(), d = data.num_features();
+  h = Fnv1a(h, &n, sizeof(n));
+  h = Fnv1a(h, &d, sizeof(d));
+  for (size_t r = 0; r < n; ++r) {
+    h = Fnv1a(h, data.x().RowPtr(r), d * sizeof(double));
+  }
+  if (!data.labels().empty()) {
+    h = Fnv1a(h, data.labels().data(), n * sizeof(int));
+  }
+  if (!data.groups().empty()) {
+    h = Fnv1a(h, data.groups().data(), n * sizeof(int));
+  }
+  return h;
+}
+
+RunReport RunWithReport(const ApproachDescriptor& descriptor,
+                        const RunContext& ctx) {
+  RunReport report;
+  report.method = descriptor.name;
+  report.citation = descriptor.citation;
+  report.seed = ctx.seed;
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      DatasetFingerprint(ctx.credit)));
+    report.dataset_fingerprint = buf;
+  }
+  report.config = std::string(ToString(descriptor.stage)) + "/" +
+                  ToString(descriptor.access) + "/" +
+                  ToString(descriptor.agnostic) + "/" +
+                  ToString(descriptor.coverage) + "/" +
+                  ToString(descriptor.level) + "/" +
+                  ToString(descriptor.task) + "/" +
+                  descriptor.explanation_type + "/" +
+                  descriptor.goals.ToString();
+
+  const std::map<std::string, uint64_t> before = [] {
+    std::map<std::string, uint64_t> m;
+    for (const CounterSnapshot& c : SnapshotCounters()) m[c.name] = c.value;
+    return m;
+  }();
+  const bool was_tracing = TracingEnabled();
+  FlushSpans();  // Discard anything recorded before this run.
+  SetTracingEnabled(true);
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  report.summary = descriptor.runner(ctx);
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+
+  SetTracingEnabled(was_tracing);
+  report.stages = AggregateStages(FlushSpans());
+  for (const CounterSnapshot& c : SnapshotCounters()) {
+    const auto it = before.find(c.name);
+    const uint64_t prev = it == before.end() ? 0 : it->second;
+    if (c.value > prev) {
+      report.counter_deltas.push_back({c.name, c.value - prev});
+    }
+  }
+  return report;
+}
+
+std::string RunReport::ToJson() const {
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
+  std::string out = "{\n";
+  out += "  \"method\": \"" + JsonEscape(method) + "\",\n";
+  out += "  \"citation\": \"" + JsonEscape(citation) + "\",\n";
+  out += "  \"config\": \"" + JsonEscape(config) + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"dataset_fingerprint\": \"" + dataset_fingerprint + "\",\n";
+  out += "  \"summary\": \"" + JsonEscape(summary) + "\",\n";
+  out += std::string("  \"wall_ms\": ") + wall + ",\n";
+  out += "  \"stages\": " + StagesToJson(stages) + ",\n";
+  out += "  \"counter_deltas\": {";
+  for (size_t i = 0; i < counter_deltas.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(counter_deltas[i].name) +
+           "\": " + std::to_string(counter_deltas[i].value);
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+}  // namespace xfair::obs

@@ -1,0 +1,54 @@
+// RunReport: an auditable record of one explainer/mitigator invocation.
+//
+// Benchmark suites for fairness explainers (ExplainBench, FairX) treat
+// per-method provenance as a first-class output: which method ran, with
+// what configuration and seed, on which data, what it measured, and what
+// it cost. RunWithReport wraps a registry runner (core/registry) in a
+// traced, counter-delta-measured execution and returns exactly that
+// record; bench_table1 uses it to regenerate the Table-I artifact with
+// measured provenance attached to every row.
+
+#ifndef XFAIR_OBS_RUN_REPORT_H_
+#define XFAIR_OBS_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/registry.h"
+#include "src/obs/export.h"
+
+namespace xfair::obs {
+
+/// Audit record of one approach invocation on the shared fixtures.
+struct RunReport {
+  std::string method;    ///< Descriptor name, e.g. "GOPHER patterns".
+  std::string citation;  ///< Table I row key, e.g. "[63]".
+  std::string config;    ///< Taxonomy classification, rendered compactly.
+  uint64_t seed = 0;     ///< RunContext seed the fixtures derive from.
+  /// FNV-1a fingerprint (hex) of the credit fixture the runner saw:
+  /// features, labels, and groups. Two runs with equal fingerprints and
+  /// seeds executed the same workload.
+  std::string dataset_fingerprint;
+  std::string summary;  ///< The runner's measured one-line result.
+  double wall_ms = 0.0;
+  std::vector<StageStat> stages;  ///< Span aggregate during the run.
+  /// Counters that advanced during the run (name, increment), sorted.
+  std::vector<CounterSnapshot> counter_deltas;
+
+  /// Renders the record as a self-contained JSON object.
+  std::string ToJson() const;
+};
+
+/// 64-bit FNV-1a over the dataset's feature bytes, labels, and groups.
+uint64_t DatasetFingerprint(const Dataset& data);
+
+/// Executes `descriptor.runner(ctx)` with tracing force-enabled and
+/// counter deltas captured, and returns the populated audit record.
+/// Restores the previous tracing state; flushes only spans recorded
+/// during the run (any pending spans are flushed and discarded first).
+RunReport RunWithReport(const ApproachDescriptor& descriptor,
+                        const RunContext& ctx);
+
+}  // namespace xfair::obs
+
+#endif  // XFAIR_OBS_RUN_REPORT_H_

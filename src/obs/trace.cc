@@ -1,0 +1,145 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace xfair::obs {
+namespace {
+
+/// Steady-clock ns relative to a process-lifetime epoch (first use).
+uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// Per-thread span storage. Only the owning thread writes records and
+/// bumps `size`; the flusher reads under `block_mutex` + an acquire load
+/// of `size`, so completed entries are safely visible once recording on
+/// other threads has quiesced (see trace.h contract).
+struct ThreadBuffer {
+  static constexpr size_t kBlockSize = 4096;
+  using Block = std::array<SpanRecord, kBlockSize>;
+
+  uint32_t ordinal = 0;
+  std::atomic<size_t> size{0};
+  std::mutex block_mutex;  ///< Guards the block list structure only.
+  std::vector<std::unique_ptr<Block>> blocks;
+
+  // Owner-thread-only state.
+  uint64_t next_id = 1;
+  std::vector<uint64_t> open_stack;  ///< Ids of currently open spans.
+
+  void Append(const SpanRecord& rec) {
+    const size_t idx = size.load(std::memory_order_relaxed);
+    if (idx / kBlockSize >= blocks.size()) {
+      std::lock_guard<std::mutex> guard(block_mutex);
+      blocks.emplace_back(new Block());
+    }
+    (*blocks[idx / kBlockSize])[idx % kBlockSize] = rec;
+    size.store(idx + 1, std::memory_order_release);
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& GlobalRegistry() {
+  static BufferRegistry* r = new BufferRegistry();
+  return *r;
+}
+
+/// This thread's buffer, registered on first use. The shared_ptr in the
+/// registry keeps the buffer alive after the thread exits (pool workers
+/// are joined and recreated on resize), so un-flushed spans survive.
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    b->ordinal = static_cast<uint32_t>(reg.buffers.size());
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::atomic<bool> g_enabled{[] {
+  const char* env = std::getenv("XFAIR_TRACE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+}  // namespace
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> FlushSpans() {
+  // Copy the registered buffer list, then drain each. New threads that
+  // register mid-flush are picked up by the next flush.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> guard(buf->block_mutex);
+    const size_t n = buf->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(
+          (*buf->blocks[i / ThreadBuffer::kBlockSize])[i %
+                                                       ThreadBuffer::kBlockSize]);
+    }
+    buf->size.store(0, std::memory_order_release);
+  }
+  // Buffers were visited in registration (ordinal) order and each drains
+  // in append order; records close in LIFO order per thread, so sort into
+  // the documented (thread ordinal, id) order for a stable, open-order
+  // view.
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a,
+                                       const SpanRecord& b) {
+    return a.thread_ordinal != b.thread_ordinal
+               ? a.thread_ordinal < b.thread_ordinal
+               : a.id < b.id;
+  });
+  return out;
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buf = LocalBuffer();
+  active_ = true;
+  id_ = buf.next_id++;
+  parent_id_ = buf.open_stack.empty() ? 0 : buf.open_stack.back();
+  depth_ = static_cast<uint32_t>(buf.open_stack.size());
+  buf.open_stack.push_back(id_);
+  start_ns_ = NowNs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const uint64_t end = NowNs();
+  ThreadBuffer& buf = LocalBuffer();
+  // Defensive: the stack top must be this span (RAII guarantees LIFO).
+  if (!buf.open_stack.empty() && buf.open_stack.back() == id_) {
+    buf.open_stack.pop_back();
+  }
+  buf.Append({name_, start_ns_, end, buf.ordinal, depth_, id_, parent_id_});
+}
+
+}  // namespace xfair::obs

@@ -77,7 +77,9 @@ double RecExposureShare(const RecWalkScorer& scorer,
   for (size_t u = 0; u < interactions.num_users(); ++u) {
     const auto ranking = scorer.RankItems(u, k);
     if (ranking.empty()) continue;
-    total += ExposureShare(ranking, item_groups);
+    const Result<double> share = ExposureShare(ranking, item_groups);
+    XFAIR_CHECK(share.ok());  // RankItems emits only valid item ids.
+    total += *share;
     ++users;
   }
   return users == 0 ? 0.0 : total / static_cast<double>(users);

@@ -5,6 +5,7 @@
 #include "src/explain/tree_shap.h"
 #include "src/fairness/group_metrics.h"
 #include "src/model/logistic_regression.h"
+#include "src/obs/obs.h"
 
 namespace xfair {
 namespace {
@@ -33,11 +34,14 @@ FairnessShapReport ExplainParityWithShapley(
     const FairnessShapOptions& options) {
   const size_t d = data.num_features();
   XFAIR_CHECK(d > 0);
+  XFAIR_SPAN("fairness_shap/explain");
   Rng rng(options.seed);
 
   CoalitionValue value;
   if (options.mode == FairnessShapMode::kRetrain) {
     value = [&data](const std::vector<bool>& mask) {
+      XFAIR_SPAN("fairness_shap/coalition_retrain");
+      XFAIR_COUNTER_ADD("fairness_shap/coalitions", 1);
       bool any = false;
       for (bool m : mask) any |= m;
       if (!any) return 0.0;  // Featureless model treats groups equally.
@@ -113,6 +117,8 @@ FairnessShapReport ExplainParityWithShapley(
 
     value = [&model, &data, background = std::move(background),
              rows = std::move(rows)](const std::vector<bool>& mask) {
+      XFAIR_SPAN("fairness_shap/coalition_mask");
+      XFAIR_COUNTER_ADD("fairness_shap/coalitions", 1);
       // One batched prediction per coalition instead of a virtual call
       // per row: the coalition's features come from the data row, the
       // rest from the background means.

@@ -6,6 +6,7 @@
 
 #include "src/explain/influence.h"
 #include "src/fairness/group_metrics.h"
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -57,6 +58,7 @@ std::string Describe(const Discretizer& disc, const Schema& schema,
 Result<GopherReport> ExplainUnfairnessByPatterns(
     const LogisticRegression& model, const Dataset& train,
     const GopherOptions& options) {
+  XFAIR_SPAN("gopher/explain");
   GopherReport report;
   report.original_gap = StatisticalParityDifference(model, train);
 
@@ -85,6 +87,8 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
   std::vector<Conditions> current;
   for (const auto& cand : singles) current.push_back(cand);
   for (size_t depth = 1; depth <= options.max_conditions; ++depth) {
+    XFAIR_SPAN("gopher/apriori_depth");
+    XFAIR_COUNTER_ADD("gopher/candidates_scored", current.size());
     // Score every candidate. Either a row-major scan (each row deposits
     // into the candidates it matches — no per-candidate data pass) or the
     // candidate-major baseline; both accumulate every candidate's
@@ -178,6 +182,7 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
     current = std::move(extended);
   }
   report.patterns_examined = scored.size();
+  XFAIR_COUNTER_ADD("gopher/patterns_examined", scored.size());
 
   // Most gap-reducing removals first (most negative estimated change).
   std::sort(scored.begin(), scored.end(),

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace xfair {
 namespace {
 
@@ -81,7 +83,9 @@ double KdTree::SquaredDistance(const double* q, size_t row) const {
 }
 
 void KdTree::Search(int32_t node, const double* q, size_t k,
-                    std::vector<std::pair<double, size_t>>* heap) const {
+                    std::vector<std::pair<double, size_t>>* heap,
+                    size_t* visited) const {
+  ++*visited;
   const Node& n = nodes_[static_cast<size_t>(node)];
   if (n.split_dim < 0) {
     for (uint32_t i = n.begin; i < n.end; ++i) {
@@ -102,12 +106,12 @@ void KdTree::Search(int32_t node, const double* q, size_t k,
   const double diff = qv - n.split_val;
   const int32_t near = diff <= 0.0 ? n.left : n.right;
   const int32_t far = diff <= 0.0 ? n.right : n.left;
-  Search(near, q, k, heap);
+  Search(near, q, k, heap, visited);
   // The far half-space is at least diff^2 away. Prune only when every
   // point there is *strictly* worse than the current k-th candidate, so
   // equal-distance points still compete on row index.
   if (heap->size() < k || diff * diff <= heap->front().first) {
-    Search(far, q, k, heap);
+    Search(far, q, k, heap, visited);
   }
 }
 
@@ -115,7 +119,10 @@ std::vector<size_t> KdTree::KNearest(const double* q, size_t k) const {
   XFAIR_CHECK(k > 0 && k <= points_.rows());
   std::vector<std::pair<double, size_t>> heap;
   heap.reserve(k);
-  Search(0, q, k, &heap);
+  size_t visited = 0;
+  Search(0, q, k, &heap, &visited);
+  XFAIR_COUNTER_ADD("kdtree/queries", 1);
+  XFAIR_HISTOGRAM_OBSERVE("kdtree/nodes_visited", visited);
   std::sort(heap.begin(), heap.end(), HeapLess);
   std::vector<size_t> out(heap.size());
   for (size_t i = 0; i < heap.size(); ++i) out[i] = heap[i].second;

@@ -59,8 +59,11 @@ class KdTree {
   };
 
   int32_t Build(uint32_t begin, uint32_t end, size_t leaf_size);
+  /// `visited` counts nodes touched, for the kdtree/nodes_visited
+  /// histogram (observability only — never affects the result).
   void Search(int32_t node, const double* q, size_t k,
-              std::vector<std::pair<double, size_t>>* heap) const;
+              std::vector<std::pair<double, size_t>>* heap,
+              size_t* visited) const;
 
   Matrix points_;
   std::vector<uint32_t> order_;  ///< Row ids permuted by the build.

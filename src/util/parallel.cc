@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace xfair {
@@ -189,10 +190,13 @@ void ParallelForChunks(size_t begin, size_t end,
                        const std::function<void(const ChunkRange&)>& body) {
   const std::vector<ChunkRange> chunks = DeterministicChunks(begin, end);
   if (chunks.empty()) return;
+  XFAIR_COUNTER_ADD("parallel/loops", 1);
+  XFAIR_COUNTER_ADD("parallel/chunks", chunks.size());
   if (chunks.size() == 1) {
     body(chunks[0]);
     return;
   }
+  XFAIR_SPAN("parallel/dispatch");
   ThreadPool::Instance().Run(chunks.size(),
                              [&](size_t c) { body(chunks[c]); });
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 namespace xfair {
@@ -24,8 +25,8 @@ double Variance(const Vector& v) {
 double Stddev(const Vector& v) { return std::sqrt(Variance(v)); }
 
 double Quantile(Vector v, double q) {
-  XFAIR_CHECK(!v.empty());
   XFAIR_CHECK(q >= 0.0 && q <= 1.0);
+  if (v.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
   const size_t lo = static_cast<size_t>(pos);

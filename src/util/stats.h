@@ -21,10 +21,14 @@ double Variance(const Vector& v);
 /// Sample standard deviation.
 double Stddev(const Vector& v);
 
-/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+/// Linear-interpolation quantile, q in [0, 1]. An empty vector yields
+/// quiet NaN (the documented "no data" sentinel — callers that can see
+/// empty slices must test with std::isnan); a one-element vector yields
+/// that element for every q.
 double Quantile(Vector v, double q);
 
-/// Median (Quantile at 0.5). Requires non-empty input.
+/// Median (Quantile at 0.5). Empty input yields quiet NaN; one element
+/// yields that element.
 double Median(Vector v);
 
 /// Pearson correlation; 0 if either side is constant. Requires equal,

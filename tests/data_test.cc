@@ -266,5 +266,89 @@ TEST(Csv, MalformedRowFails) {
   std::remove(path.c_str());
 }
 
+namespace {
+
+void WriteFile(const std::string& path, const char* contents) {
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs(contents, f);
+  fclose(f);
+}
+
+}  // namespace
+
+TEST(Csv, QuotedFieldsWithCommasAndEscapedQuotes) {
+  // Header names containing commas and quotes must be quotable per
+  // RFC 4180; quoted numeric cells unquote before parsing.
+  const std::string path = "/tmp/xfair_csv_quoted.csv";
+  WriteFile(path,
+            "s,\"age, years\",\"said \"\"hi\"\"\",label,group\n"
+            "1,\"2.5\",3,1,0\n"
+            "0,4.5,\"-1\",0,1\n");
+  auto schema = InferSchemaFromCsv(path);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->feature(1).name, "age, years");
+  EXPECT_EQ(schema->feature(2).name, "said \"hi\"");
+  auto r = ReadCsv(*schema, path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->x().At(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(r->x().At(1, 2), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, CrlfLineEndingsAccepted) {
+  const std::string path = "/tmp/xfair_csv_crlf.csv";
+  WriteFile(path, "s,a,b,label,group\r\n1,2,3,1,0\r\n0,4,5,0,1\r\n");
+  auto r = ReadCsv(TinySchema(), path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->x().At(1, 2), 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnterminatedQuoteFailsWithLineNumber) {
+  const std::string path = "/tmp/xfair_csv_unterminated.csv";
+  WriteFile(path, "s,a,b,label,group\n1,\"2,3,1,0\n");
+  auto r = ReadCsv(TinySchema(), path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuoteInsideUnquotedFieldFails) {
+  const std::string path = "/tmp/xfair_csv_strayquote.csv";
+  WriteFile(path, "s,a,b,label,group\n1,2\"bad\",3,1,0\n");
+  auto r = ReadCsv(TinySchema(), path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteQuotesSpecialFeatureNamesAndRoundTrips) {
+  std::vector<FeatureSpec> f;
+  f.push_back({"s", FeatureKind::kBinary, 0, Actionability::kImmutable, 0, 1});
+  f.push_back({"income, monthly", FeatureKind::kNumeric, 0,
+               Actionability::kAny, -10, 10});
+  f.push_back({"b", FeatureKind::kNumeric, 0, Actionability::kAny, -10, 10});
+  Schema schema(std::move(f), 0);
+  Matrix x = Matrix::FromRows({{1, 0.5, 2.0}, {0, 1.5, -1.0}});
+  Dataset d(schema, std::move(x), {1, 0}, {1, 0});
+  const std::string path = "/tmp/xfair_csv_quoted_names.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  auto inferred = InferSchemaFromCsv(path);
+  ASSERT_TRUE(inferred.ok()) << inferred.status().ToString();
+  EXPECT_EQ(inferred->feature(1).name, "income, monthly");
+  auto r = ReadCsv(schema, path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_NEAR(r->x().At(1, 1), 1.5, 1e-9);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace xfair

@@ -74,7 +74,7 @@ TEST(FairTopK, SatisfiesConstraintOnBiasedScores) {
   EXPECT_GT(result.swaps, 0u) << "biased scores require interventions";
   // The constructed ranking passes the probability-based fairness test
   // it was built from.
-  EXPECT_GT(FairPrefixPValue(result.ranking, flags), 0.05);
+  EXPECT_GT(*FairPrefixPValue(result.ranking, flags), 0.05);
 }
 
 TEST(FairTopK, NoSwapsWhenScoresAlreadyFair) {

@@ -156,19 +156,19 @@ TEST(RankingMetrics, PositionBiasDecreases) {
 TEST(RankingMetrics, ExposureShareAllOneGroup) {
   std::vector<size_t> ranking = {0, 1, 2};
   std::vector<int> groups = {1, 1, 1};
-  EXPECT_DOUBLE_EQ(ExposureShare(ranking, groups), 1.0);
+  EXPECT_DOUBLE_EQ(*ExposureShare(ranking, groups), 1.0);
   std::vector<int> none = {0, 0, 0};
-  EXPECT_DOUBLE_EQ(ExposureShare(ranking, none), 0.0);
+  EXPECT_DOUBLE_EQ(*ExposureShare(ranking, none), 0.0);
 }
 
 TEST(RankingMetrics, ExposureGapNegativeWhenProtectedAtBottom) {
   // 6 items, protected items ranked last.
   std::vector<size_t> ranking = {0, 1, 2, 3, 4, 5};
   std::vector<int> groups = {0, 0, 0, 1, 1, 1};
-  EXPECT_LT(ExposureGap(ranking, groups), -0.05);
+  EXPECT_LT(*ExposureGap(ranking, groups), -0.05);
   // Alternating ranking is nearly proportional.
   std::vector<size_t> alt = {3, 0, 4, 1, 5, 2};
-  EXPECT_NEAR(ExposureGap(alt, groups), 0.0, 0.12);
+  EXPECT_NEAR(*ExposureGap(alt, groups), 0.0, 0.12);
 }
 
 TEST(RankingMetrics, FairPrefixPValueFlagsBottomStacking) {
@@ -177,22 +177,66 @@ TEST(RankingMetrics, FairPrefixPValueFlagsBottomStacking) {
   // Protected items occupy exactly the bottom half.
   std::vector<size_t> bad(20);
   std::iota(bad.begin(), bad.end(), 0);
-  const double p_bad = FairPrefixPValue(bad, groups);
+  const double p_bad = *FairPrefixPValue(bad, groups);
   // Perfectly interleaved ranking.
   std::vector<size_t> good;
   for (int i = 0; i < 10; ++i) {
     good.push_back(static_cast<size_t>(10 + i));
     good.push_back(static_cast<size_t>(i));
   }
-  const double p_good = FairPrefixPValue(good, groups);
+  const double p_good = *FairPrefixPValue(good, groups);
   EXPECT_LT(p_bad, 0.01);
   EXPECT_GT(p_good, 0.2);
 }
 
 TEST(RankingMetrics, FairPrefixPValueDegenerateCases) {
-  EXPECT_DOUBLE_EQ(FairPrefixPValue({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(*FairPrefixPValue({}, {}), 1.0);
   std::vector<int> all_one = {1, 1};
-  EXPECT_DOUBLE_EQ(FairPrefixPValue({0, 1}, all_one), 1.0);
+  EXPECT_DOUBLE_EQ(*FairPrefixPValue({0, 1}, all_one), 1.0);
+}
+
+TEST(RankingMetrics, EmptyRankingSentinels) {
+  const std::vector<size_t> empty;
+  const std::vector<int> groups = {0, 1};
+  EXPECT_DOUBLE_EQ(*ExposureShare(empty, groups), 0.0);
+  EXPECT_DOUBLE_EQ(*ExposureGap(empty, groups), 0.0);
+  EXPECT_DOUBLE_EQ(*FairPrefixPValue(empty, groups), 1.0);
+}
+
+TEST(RankingMetrics, OutOfRangeItemIsInvalidArgument) {
+  // An external ranking referencing an item the group table doesn't know
+  // used to abort the process via XFAIR_CHECK; it must surface as a
+  // Status naming the offending rank instead.
+  const std::vector<size_t> ranking = {0, 5, 1};
+  const std::vector<int> groups = {0, 1};
+  for (const auto& r :
+       {ExposureShare(ranking, groups), ExposureGap(ranking, groups),
+        FairPrefixPValue(ranking, groups)}) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("rank 1"), std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(GroupMetrics, SingleGroupDatasetUsesFairSentinels) {
+  // Every row is group 0 with a 60% favorable rate. There is no second
+  // group to compare against, so each metric reports its "fair" value
+  // instead of comparing against an absent group's vacuous zero rate.
+  Dataset d = ControlledData(0, 0, 10, 6);
+  LookupModel m;
+  EXPECT_DOUBLE_EQ(StatisticalParityDifference(m, d), 0.0);
+  EXPECT_DOUBLE_EQ(DisparateImpactRatio(m, d), 1.0);
+  EXPECT_DOUBLE_EQ(EqualOpportunityDifference(m, d), 0.0);
+  EXPECT_DOUBLE_EQ(EqualizedOddsDifference(m, d), 0.0);
+  EXPECT_DOUBLE_EQ(PredictiveParityDifference(m, d), 0.0);
+  EXPECT_DOUBLE_EQ(CalibrationGap(m, d), 0.0);
+
+  const GroupFairnessReport report = EvaluateGroupFairness(m, d);
+  EXPECT_DOUBLE_EQ(report.statistical_parity_difference, 0.0);
+  EXPECT_DOUBLE_EQ(report.disparate_impact_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.equalized_odds_difference, 0.0);
+  EXPECT_NEAR(report.accuracy, 0.6, 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,310 @@
+// Tests for src/obs: counter/histogram semantics, span recording and
+// deterministic flush order, Chrome-trace/JSON export, stage aggregation,
+// the bit-identity guarantee (tracing on vs off), and RunReport audit
+// records.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/registry.h"
+#include "src/data/generators.h"
+#include "src/model/logistic_regression.h"
+#include "src/obs/obs.h"
+#include "src/obs/run_report.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/util/parallel.h"
+
+namespace xfair {
+namespace {
+
+using obs::AggregateStages;
+using obs::FlushSpans;
+using obs::GetCounter;
+using obs::GetHistogram;
+using obs::SetTracingEnabled;
+using obs::Span;
+using obs::SpanRecord;
+using obs::StageStat;
+
+/// Restores the disabled-tracing default and drains leftover spans when a
+/// test exits, so span tests cannot leak state into each other.
+struct TracingGuard {
+  TracingGuard() {
+    SetTracingEnabled(false);
+    FlushSpans();
+  }
+  ~TracingGuard() {
+    SetTracingEnabled(false);
+    FlushSpans();
+  }
+};
+
+TEST(Counters, InternedByNameAndMonotonic) {
+  obs::Counter& a = GetCounter("obs_test/interned");
+  obs::Counter& b = GetCounter("obs_test/interned");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.value();
+  a.Add();
+  a.Add(41);
+  EXPECT_EQ(b.value(), before + 42);
+}
+
+TEST(Counters, ConcurrentIncrementsAllLand) {
+  obs::Counter& c = GetCounter("obs_test/concurrent");
+  c.Reset();
+  ParallelFor(0, size_t{1000}, [&](size_t) { c.Add(3); });
+  EXPECT_EQ(c.value(), 3000u);
+}
+
+TEST(Counters, MacroCompilesAndCounts) {
+  obs::Counter& c = GetCounter("obs_test/macro");
+  const uint64_t before = c.value();
+  for (int i = 0; i < 5; ++i) {
+    XFAIR_COUNTER_ADD("obs_test/macro", 2);
+  }
+#ifdef XFAIR_OBS_DISABLED
+  EXPECT_EQ(c.value(), before);
+#else
+  EXPECT_EQ(c.value(), before + 10);
+#endif
+}
+
+TEST(Histograms, PowerOfTwoBuckets) {
+  obs::Histogram& h = GetHistogram("obs_test/hist");
+  h.Reset();
+  h.Observe(0);   // bucket 0
+  h.Observe(1);   // bit width 1
+  h.Observe(7);   // bit width 3
+  h.Observe(8);   // bit width 4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  const auto buckets = h.BucketCounts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(buckets[4], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+}
+
+TEST(Counters, SnapshotsAreSortedByName) {
+  GetCounter("obs_test/zz");
+  GetCounter("obs_test/aa");
+  const auto snaps = obs::SnapshotCounters();
+  ASSERT_GE(snaps.size(), 2u);
+  for (size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+  }
+}
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  TracingGuard guard;
+  { Span s("obs_test/ignored"); }
+  EXPECT_TRUE(FlushSpans().empty());
+}
+
+TEST(Tracer, NestedSpansRecordParentAndDepth) {
+  TracingGuard guard;
+  SetTracingEnabled(true);
+  {
+    Span outer("obs_test/outer");
+    { Span inner("obs_test/inner"); }
+    { Span inner2("obs_test/inner"); }
+  }
+  SetTracingEnabled(false);
+  const auto spans = FlushSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Deterministic order: per-thread ids ascend in open order.
+  EXPECT_STREQ(spans[0].name, "obs_test/outer");
+  EXPECT_STREQ(spans[1].name, "obs_test/inner");
+  EXPECT_STREQ(spans[2].name, "obs_test/inner");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[2].parent_id, spans[0].id);
+  for (const auto& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+  // Children close before the parent.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].end_ns, spans[2].end_ns);
+}
+
+TEST(Tracer, FlushDrainsOnce) {
+  TracingGuard guard;
+  SetTracingEnabled(true);
+  { Span s("obs_test/drain"); }
+  SetTracingEnabled(false);
+  EXPECT_EQ(FlushSpans().size(), 1u);
+  EXPECT_TRUE(FlushSpans().empty());
+}
+
+TEST(Tracer, InstrumentedLibraryEmitsSpansWhenEnabled) {
+  TracingGuard guard;
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(120, 77);
+  SetTracingEnabled(true);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  SetTracingEnabled(false);
+  const auto spans = FlushSpans();
+  bool saw_fit = false;
+  for (const auto& s : spans) {
+    saw_fit |= std::string_view(s.name) == "model/fit/logistic_regression";
+  }
+#ifdef XFAIR_OBS_DISABLED
+  EXPECT_TRUE(spans.empty());
+#else
+  EXPECT_TRUE(saw_fit);
+#endif
+}
+
+TEST(Export, ChromeTraceJsonShape) {
+  TracingGuard guard;
+  SetTracingEnabled(true);
+  {
+    Span outer("obs_test/chrome_outer");
+    Span inner("obs_test/chrome_inner");
+  }
+  SetTracingEnabled(false);
+  const auto spans = FlushSpans();
+  const std::string json = obs::SpansToChromeTraceJson(spans);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test/chrome_outer"), std::string::npos);
+  EXPECT_NE(json.find("obs_test/chrome_inner"), std::string::npos);
+
+  const std::string path = "/tmp/xfair_obs_trace_test.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path, spans).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST(Export, AggregateStagesComputesSelfTime) {
+  // Hand-built spans: parent 10ms total with a 4ms same-thread child.
+  std::vector<SpanRecord> spans(2);
+  spans[0] = {"parent", 0, 10'000'000, 0, 0, 1, 0};
+  spans[1] = {"child", 1'000'000, 5'000'000, 0, 1, 2, 1};
+  const std::vector<StageStat> stages = AggregateStages(spans);
+  ASSERT_EQ(stages.size(), 2u);  // Sorted: child, parent.
+  EXPECT_EQ(stages[0].name, "child");
+  EXPECT_EQ(stages[0].count, 1u);
+  EXPECT_DOUBLE_EQ(stages[0].total_ms, 4.0);
+  EXPECT_DOUBLE_EQ(stages[0].self_ms, 4.0);
+  EXPECT_EQ(stages[1].name, "parent");
+  EXPECT_DOUBLE_EQ(stages[1].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(stages[1].self_ms, 6.0);
+  const std::string json = obs::StagesToJson(stages);
+  EXPECT_NE(json.find("\"name\": \"parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"self_ms\""), std::string::npos);
+}
+
+TEST(Export, CountersToJsonIsWellFormedFragment) {
+  GetCounter("obs_test/json_counter").Add(5);
+  const std::string json = obs::CountersToJson();
+  EXPECT_NE(json.find("obs_test/json_counter"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  const size_t last = json.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+}
+
+TEST(BitIdentity, TracingDoesNotPerturbResults) {
+  // The core guarantee: spans and counters observe without participating.
+  // The same workload with tracing off and on must produce bit-identical
+  // numeric output.
+  TracingGuard guard;
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(300, 909);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  auto run = [&] { return ExplainParityWithShapley(model, data, {}); };
+  SetTracingEnabled(false);
+  const FairnessShapReport off = run();
+  SetTracingEnabled(true);
+  const FairnessShapReport on = run();
+  SetTracingEnabled(false);
+  FlushSpans();
+
+  ASSERT_EQ(off.contributions.size(), on.contributions.size());
+  for (size_t i = 0; i < off.contributions.size(); ++i) {
+    EXPECT_EQ(off.contributions[i], on.contributions[i]) << "feature " << i;
+  }
+  EXPECT_EQ(off.baseline_gap, on.baseline_gap);
+  EXPECT_EQ(off.full_gap, on.full_gap);
+  EXPECT_EQ(off.ranked_features, on.ranked_features);
+}
+
+TEST(RunReport, CapturesProvenanceStagesAndCounterDeltas) {
+  TracingGuard guard;
+  ApproachDescriptor desc;
+  desc.citation = "[00]";
+  desc.name = "obs_test probe";
+  desc.explanation_type = "Probe";
+  desc.runner = [](const RunContext& ctx) {
+    Span s("obs_test/probe_stage");
+    GetCounter("obs_test/probe_counter").Add(7);
+    LogisticRegression lr;
+    XFAIR_CHECK(lr.Fit(ctx.credit).ok());
+    return std::string("probe ok");
+  };
+  const RunContext ctx = RunContext::Make(4242);
+  const obs::RunReport report = obs::RunWithReport(desc, ctx);
+
+  EXPECT_EQ(report.method, "obs_test probe");
+  EXPECT_EQ(report.citation, "[00]");
+  EXPECT_EQ(report.summary, "probe ok");
+  EXPECT_EQ(report.seed, 4242u);
+  EXPECT_FALSE(report.dataset_fingerprint.empty());
+  EXPECT_GE(report.wall_ms, 0.0);
+  EXPECT_FALSE(report.config.empty());
+
+  bool saw_stage = false;
+  for (const auto& st : report.stages) {
+    saw_stage |= st.name == "obs_test/probe_stage";
+  }
+  bool saw_counter = false;
+  for (const auto& cd : report.counter_deltas) {
+    if (cd.name == "obs_test/probe_counter") {
+      saw_counter = true;
+      EXPECT_EQ(cd.value, 7u);
+    }
+  }
+#ifndef XFAIR_OBS_DISABLED
+  EXPECT_TRUE(saw_stage);
+#endif
+  EXPECT_TRUE(saw_counter);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"method\": \"obs_test probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"dataset_fingerprint\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+
+  // Same seed, same data: the fingerprint is reproducible.
+  EXPECT_EQ(report.dataset_fingerprint,
+            obs::RunWithReport(desc, ctx).dataset_fingerprint);
+
+  // Tracing state was restored.
+  EXPECT_FALSE(obs::TracingEnabled());
+}
+
+TEST(RunReport, FingerprintDistinguishesDatasets) {
+  const Dataset a = CreditGen().Generate(50, 1);
+  const Dataset b = CreditGen().Generate(50, 2);
+  EXPECT_NE(obs::DatasetFingerprint(a), obs::DatasetFingerprint(b));
+  EXPECT_EQ(obs::DatasetFingerprint(a), obs::DatasetFingerprint(a));
+}
+
+}  // namespace
+}  // namespace xfair

@@ -23,8 +23,10 @@
 #include "src/model/logistic_regression.h"
 #include "src/model/random_forest.h"
 #include "src/model/softmax_regression.h"
+#include "src/obs/obs.h"
 #include "src/unfair/fairness_shap.h"
 #include "src/unfair/gopher.h"
+#include "src/util/kdtree.h"
 #include "src/util/rng.h"
 
 namespace xfair {
@@ -451,6 +453,80 @@ TEST_F(BatchConsistencyTest, SoftmaxRegression) {
   const std::vector<int> decisions = model.PredictBatch(mc.x);
   for (size_t i = 0; i < mc.x.rows(); ++i)
     EXPECT_EQ(decisions[i], model.Predict(mc.x.Row(i)));
+}
+
+
+TEST(ParallelKdTree, DuplicateTieOrderIsThreadCountInvariant) {
+  // Rows with many exact duplicates force (distance, row) ties; queries
+  // fanned out over the pool must resolve them identically to the stable
+  // brute-force scan for every thread count (including XFAIR_THREADS=4,
+  // which reruns this whole binary).
+  Matrix pts(64, 2);
+  for (size_t r = 0; r < 64; ++r) {
+    pts.At(r, 0) = static_cast<double>(r % 4);  // 16 copies of each point.
+    pts.At(r, 1) = static_cast<double>(r % 2);
+  }
+  const KdTree kd(pts, /*leaf_size=*/4);
+  ExpectSameAcrossThreadCounts<std::vector<std::vector<size_t>>>(
+      [&] {
+        std::vector<std::vector<size_t>> out(64);
+        ParallelFor(0, size_t{64}, [&](size_t qi) {
+          out[qi] = kd.KNearest(pts.RowPtr(qi), 10);
+        });
+        return out;
+      },
+      [&](const auto& serial, const auto& parallel) {
+        EXPECT_EQ(serial, parallel);
+      });
+  // And the serial answer itself matches the stable brute force.
+  for (size_t qi : {0u, 3u, 63u}) {
+    std::vector<std::pair<double, size_t>> dist(64);
+    for (size_t i = 0; i < 64; ++i) {
+      double acc = 0.0;
+      for (size_t c = 0; c < 2; ++c) {
+        const double diff = pts.At(i, c) - pts.At(qi, c);
+        acc += diff * diff;
+      }
+      dist[i] = {acc, i};
+    }
+    std::sort(dist.begin(), dist.end());
+    std::vector<size_t> brute(10);
+    for (size_t i = 0; i < 10; ++i) brute[i] = dist[i].second;
+    EXPECT_EQ(kd.KNearest(pts.RowPtr(qi), 10), brute) << "query " << qi;
+  }
+}
+
+TEST(ParallelObs, SpansAndCountersFromWorkerThreadsAllLand) {
+  // Spans are recorded into lock-free per-thread buffers; every body of a
+  // ParallelFor must land exactly one span and one counter increment no
+  // matter how the pool slices the range. Running this under the TSan
+  // stage of scripts/verify.sh is what certifies the buffers race-free.
+  ThreadGuard guard;
+  obs::Counter& c = obs::GetCounter("parallel_test/span_bodies");
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::SetTracingEnabled(false);
+    obs::FlushSpans();  // Drain anything earlier tests left behind.
+    c.Reset();
+    obs::SetTracingEnabled(true);
+    ParallelFor(0, size_t{257}, [&](size_t) {
+      XFAIR_SPAN("parallel_test/body");
+      XFAIR_COUNTER_ADD("parallel_test/span_bodies", 1);
+    });
+    obs::SetTracingEnabled(false);
+    const std::vector<obs::SpanRecord> spans = obs::FlushSpans();
+    size_t bodies = 0;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.name == std::string("parallel_test/body")) ++bodies;
+    }
+#ifdef XFAIR_OBS_DISABLED
+    EXPECT_EQ(bodies, 0u);
+    EXPECT_EQ(c.value(), 0u);
+#else
+    EXPECT_EQ(bodies, 257u) << "threads " << threads;
+    EXPECT_EQ(c.value(), 257u);
+#endif
+  }
 }
 
 }  // namespace

@@ -304,16 +304,16 @@ TEST(RankingProperties, ExposureShareBounds) {
       groups[i] = rng.Bernoulli(0.5) ? 1 : 0;
     }
     rng.Shuffle(&ranking);
-    const double share = ExposureShare(ranking, groups);
+    const double share = *ExposureShare(ranking, groups);
     EXPECT_GE(share, 0.0);
     EXPECT_LE(share, 1.0);
-    const double p = FairPrefixPValue(ranking, groups);
+    const double p = *FairPrefixPValue(ranking, groups);
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
     // Complementary group shares sum to 1.
     std::vector<int> complement(n);
     for (size_t i = 0; i < n; ++i) complement[i] = 1 - groups[i];
-    EXPECT_NEAR(share + ExposureShare(ranking, complement), 1.0, 1e-12);
+    EXPECT_NEAR(share + *ExposureShare(ranking, complement), 1.0, 1e-12);
   }
 }
 

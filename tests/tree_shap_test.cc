@@ -236,6 +236,45 @@ TEST(KdTree, MatchesBruteForceIncludingDuplicateRowTies) {
   }
 }
 
+TEST(KdTree, AllDuplicatePointsDegenerateToOneLeaf) {
+  // Zero spread in every dimension: the build must keep a single leaf
+  // (split_dim stays -1) instead of recursing forever, and queries must
+  // return rows in ascending id order (all distances tie).
+  Matrix pts(9, 3);
+  for (size_t r = 0; r < 9; ++r)
+    for (size_t c = 0; c < 3; ++c) pts.At(r, c) = 4.25;
+  const KdTree kd(pts, /*leaf_size=*/2);
+  const double q[3] = {4.25, 4.25, 4.25};
+  for (size_t k = 1; k <= 9; ++k) {
+    EXPECT_EQ(kd.KNearest(q, k), BruteKnn(pts, q, k)) << "k=" << k;
+  }
+  const double far[3] = {-100.0, 0.0, 50.0};
+  EXPECT_EQ(kd.KNearest(far, 9), BruteKnn(pts, far, 9));
+}
+
+TEST(KdTree, ZeroVarianceDimensionsNeverSplit) {
+  // Only dimension 1 varies; dimensions 0 and 2 are constant. Splits must
+  // all land on dimension 1 and queries must still match brute force,
+  // including ties between rows identical in the varying dimension.
+  Matrix pts(12, 3);
+  const double vary[12] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 1};
+  for (size_t r = 0; r < 12; ++r) {
+    pts.At(r, 0) = 7.0;
+    pts.At(r, 1) = vary[r];
+    pts.At(r, 2) = -2.0;
+  }
+  const KdTree kd(pts, /*leaf_size=*/1);
+  for (size_t qi : {0u, 5u, 11u}) {
+    for (size_t k = 1; k <= 12; ++k) {
+      EXPECT_EQ(kd.KNearest(pts.RowPtr(qi), k),
+                BruteKnn(pts, pts.RowPtr(qi), k))
+          << "query " << qi << " k=" << k;
+    }
+  }
+  const double between[3] = {7.0, 4.5, -2.0};
+  EXPECT_EQ(kd.KNearest(between, 12), BruteKnn(pts, between, 12));
+}
+
 TEST(KdTree, MatchesBruteForceOnRealisticData) {
   const Dataset data = CreditGen().Generate(400, 81);
   const KdTree kd(data.x());

@@ -196,6 +196,22 @@ TEST(Stats, MeanVarianceQuantile) {
   EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
 }
 
+TEST(Stats, QuantileEmptyIsNaNSentinel) {
+  // Empty slices happen whenever a caller conditions on a group that is
+  // absent; the documented sentinel is quiet NaN, not an abort.
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({}, 1.0)));
+  EXPECT_TRUE(std::isnan(Median({})));
+}
+
+TEST(Stats, QuantileSingleElementIsThatElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(Quantile({7.5}, 1.0), 7.5);
+  EXPECT_DOUBLE_EQ(Median({7.5}), 7.5);
+}
+
 TEST(Stats, PearsonPerfectAndNone) {
   Vector a = {1, 2, 3, 4};
   EXPECT_NEAR(PearsonCorrelation(a, {2, 4, 6, 8}), 1.0, 1e-12);
