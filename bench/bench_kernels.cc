@@ -16,6 +16,11 @@
 //     default ("optimized"): the runtime toggle must reduce the
 //     observability cost to noise (and XFAIR_OBS=0 compiles even the
 //     disabled checks away entirely).
+//  e. BENCH_dense_kernels.json — the check-free dense kernels (Gemv,
+//     SquaredDistance, SigmoidBatch from src/util/kernels.h) vs the
+//     per-element checked Matrix::At loops every call site used before
+//     the kernel layer. Same arithmetic, same matrices; the measured
+//     difference is the bounds check + lost vectorization.
 //
 // The first three comparisons are exact drop-ins (golden tests in
 // tests/tree_shap_test.cc pin bit-level agreement), so wall time is the
@@ -31,6 +36,7 @@
 #include "src/explain/tree_shap.h"
 #include "src/model/knn.h"
 #include "src/model/random_forest.h"
+#include "src/util/kernels.h"
 #include "src/util/table.h"
 
 namespace xfair {
@@ -227,6 +233,65 @@ void PrintOnce() {
           obs::FlushSpans();  // Drain so buffers never grow unboundedly.
         },
         workload, /*repeats=*/5);
+  }
+
+  // e. Dense kernels vs the pre-kernel per-element checked-At loops.
+  // The baseline replicates what LogisticRegression / KNN / the scaler
+  // paid before PR 4: an always-on bounds check per element (the old
+  // Matrix::At) and a strictly sequential accumulator the compiler
+  // cannot vectorize without changing results.
+  {
+    const size_t rows = 2000, d = 64;
+    Matrix m(rows, d);
+    Rng rng(309);
+    for (size_t r = 0; r < rows; ++r)
+      for (size_t c = 0; c < d; ++c) m.At(r, c) = rng.Uniform(-2, 2);
+    Vector v(d), q(d), logits(rows), probs(rows);
+    for (size_t c = 0; c < d; ++c) {
+      v[c] = rng.Uniform(-1, 1);
+      q[c] = rng.Uniform(-2, 2);
+    }
+    // The old checked accessor, verbatim: every element access pays the
+    // branch Matrix::At used to carry before it became an XFAIR_DCHECK.
+    auto checked_at = [&](size_t r, size_t c) -> double {
+      XFAIR_CHECK(r < m.rows() && c < m.cols());
+      return m.At(r, c);
+    };
+    RecordAlgoSpeedup(
+        "dense_kernels",
+        [&] {
+          // Gemv: sequential per-row dot through the checked accessor.
+          for (size_t r = 0; r < rows; ++r) {
+            double acc = 0.0;
+            for (size_t c = 0; c < d; ++c) acc += checked_at(r, c) * v[c];
+            logits[r] = acc;
+          }
+          // SquaredDistance of every row against the query.
+          double total = 0.0;
+          for (size_t r = 0; r < rows; ++r) {
+            double acc = 0.0;
+            for (size_t c = 0; c < d; ++c) {
+              const double diff = checked_at(r, c) - q[c];
+              acc += diff * diff;
+            }
+            total += acc;
+          }
+          benchmark::DoNotOptimize(total);
+          // Element-at-a-time sigmoid over the logits.
+          for (size_t r = 0; r < rows; ++r)
+            probs[r] = kernels::Sigmoid(logits[r]);
+          benchmark::DoNotOptimize(probs);
+        },
+        [&] {
+          kernels::Gemv(m.RowPtr(0), rows, d, v.data(), 0.0, logits.data());
+          double total = 0.0;
+          for (size_t r = 0; r < rows; ++r)
+            total += kernels::SquaredDistance(m.RowPtr(r), q.data(), d);
+          benchmark::DoNotOptimize(total);
+          kernels::SigmoidBatch(logits.data(), probs.data(), rows);
+          benchmark::DoNotOptimize(probs);
+        },
+        /*repeats=*/5);
   }
 }
 

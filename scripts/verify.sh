@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, the same suite with the pool
 # forced to 4 workers, the parallel runtime under ThreadSanitizer, the
-# full suite under Address+UndefinedBehaviorSanitizer, and an XFAIR_OBS=0
-# compile check (spans/counters compiled to no-ops). With --bench,
-# additionally regenerates the BENCH_*.json artifacts via scripts/bench.sh
-# (Release build; slower).
+# full suite under Address+UndefinedBehaviorSanitizer (which arm
+# XFAIR_DCHECK, restoring per-element Matrix bounds checks), a scalar
+# XFAIR_SIMD=OFF build of the kernel layer, and an XFAIR_OBS=0 compile
+# check (spans/counters compiled to no-ops). With --bench, additionally
+# regenerates the BENCH_*.json artifacts via scripts/bench.sh (Release
+# build; slower).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,13 @@ cmake -B build-asan -S . -DXFAIR_ASAN=ON -DXFAIR_UBSAN=ON > /dev/null
 cmake --build build-asan -j --target xfair_tests parallel_test
 ./build-asan/tests/xfair_tests
 XFAIR_THREADS=4 ./build-asan/tests/parallel_test
+
+echo
+echo "== XFAIR_SIMD=OFF: scalar kernels must pass the same goldens =="
+cmake -B build-nosimd -S . -DXFAIR_SIMD=OFF > /dev/null
+cmake --build build-nosimd -j --target xfair_tests parallel_test
+./build-nosimd/tests/xfair_tests
+./build-nosimd/tests/parallel_test --gtest_filter='BatchConsistencyTest.*:ParallelModel.*'
 
 echo
 echo "== XFAIR_OBS=0 compile check (spans/counters as no-ops) =="

@@ -2,21 +2,35 @@
 
 #include <cmath>
 
-#include "src/util/stats.h"
+#include "src/util/kernels.h"
 
 namespace xfair {
 
 void StandardScaler::Fit(const Dataset& data) {
   const size_t d = data.num_features();
+  const size_t n = data.size();
   means_.assign(d, 0.0);
   stddevs_.assign(d, 1.0);
-  scale_.assign(d, false);
+  if (n == 0) {
+    fitted_ = true;
+    return;
+  }
+  // Row-major moment passes over the row storage — no Matrix::Col
+  // copies. Each column's sums still accumulate in ascending row order,
+  // so the learned moments match the former per-column Mean/Stddev
+  // computation bit for bit.
+  Vector sums(d, 0.0), m2(d, 0.0);
+  for (size_t r = 0; r < n; ++r)
+    kernels::Axpy(1.0, data.x().RowPtr(r), sums.data(), d);
+  Vector mean(d, 0.0);
+  for (size_t c = 0; c < d; ++c) mean[c] = sums[c] / static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r)
+    kernels::AccumSquaredDiff(data.x().RowPtr(r), mean.data(), m2.data(), d);
   for (size_t c = 0; c < d; ++c) {
     if (data.schema().feature(c).kind != FeatureKind::kNumeric) continue;
-    scale_[c] = true;
-    Vector col = data.x().Col(c);
-    means_[c] = Mean(col);
-    const double sd = Stddev(col);
+    means_[c] = mean[c];
+    const double sd =
+        n < 2 ? 0.0 : std::sqrt(m2[c] / static_cast<double>(n - 1));
     stddevs_[c] = sd > 1e-12 ? sd : 1.0;
   }
   fitted_ = true;
@@ -25,9 +39,13 @@ void StandardScaler::Fit(const Dataset& data) {
 Dataset StandardScaler::Transform(const Dataset& data) const {
   XFAIR_CHECK_MSG(fitted_, "scaler not fitted");
   XFAIR_CHECK(data.num_features() == means_.size());
+  // Pass-through columns keep mean 0 / stddev 1, and (x - 0) / 1 == x
+  // exactly in IEEE arithmetic, so one unconditional standardization
+  // kernel per row replaces the per-element branch.
   Matrix x(data.size(), data.num_features());
   for (size_t r = 0; r < data.size(); ++r)
-    x.SetRow(r, TransformInstance(data.instance(r)));
+    kernels::Standardize(data.x().RowPtr(r), means_.data(),
+                         stddevs_.data(), x.RowPtr(r), means_.size());
   return Dataset(data.schema(), std::move(x), data.labels(), data.groups());
 }
 
@@ -35,8 +53,8 @@ Vector StandardScaler::TransformInstance(const Vector& x) const {
   XFAIR_CHECK_MSG(fitted_, "scaler not fitted");
   XFAIR_CHECK(x.size() == means_.size());
   Vector z(x.size());
-  for (size_t c = 0; c < x.size(); ++c)
-    z[c] = scale_[c] ? (x[c] - means_[c]) / stddevs_[c] : x[c];
+  kernels::Standardize(x.data(), means_.data(), stddevs_.data(), z.data(),
+                       x.size());
   return z;
 }
 
@@ -45,7 +63,7 @@ Vector StandardScaler::InverseInstance(const Vector& z) const {
   XFAIR_CHECK(z.size() == means_.size());
   Vector x(z.size());
   for (size_t c = 0; c < z.size(); ++c)
-    x[c] = scale_[c] ? z[c] * stddevs_[c] + means_[c] : z[c];
+    x[c] = z[c] * stddevs_[c] + means_[c];
   return x;
 }
 

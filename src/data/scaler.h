@@ -30,8 +30,10 @@ class StandardScaler {
   const Vector& stddevs() const { return stddevs_; }
 
  private:
+  // Pass-through (binary/categorical) columns keep mean 0 / stddev 1,
+  // which makes standardization an exact identity for them — no
+  // per-column gating needed in the transform kernels.
   bool fitted_ = false;
-  std::vector<bool> scale_;  // Per-column: whether to standardize.
   Vector means_;
   Vector stddevs_;
 };

@@ -6,6 +6,7 @@
 
 #include "src/obs/obs.h"
 #include "src/util/kdtree.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -16,6 +17,14 @@ double FeatureRange(const FeatureSpec& spec) {
   const double r = spec.upper - spec.lower;
   if (r <= 0.0 || r > 1e29) return 1.0;
   return r;
+}
+
+/// Per-feature ranges hoisted out of the per-candidate loops.
+Vector FeatureRanges(const Schema& schema) {
+  Vector ranges(schema.num_features());
+  for (size_t c = 0; c < ranges.size(); ++c)
+    ranges[c] = FeatureRange(schema.feature(c));
+  return ranges;
 }
 
 /// Projects a candidate onto the feasible set: bounds, integrality of
@@ -98,12 +107,12 @@ double NormalizedDistance(const Schema& schema, const Vector& a,
                           const Vector& b) {
   XFAIR_CHECK(a.size() == b.size());
   XFAIR_CHECK(a.size() == schema.num_features());
-  double acc = 0.0;
-  for (size_t c = 0; c < a.size(); ++c) {
-    const double d = (a[c] - b[c]) / FeatureRange(schema.feature(c));
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  Vector inv(a.size());
+  for (size_t c = 0; c < a.size(); ++c)
+    inv[c] = 1.0 / FeatureRange(schema.feature(c));
+  return std::sqrt(
+      kernels::WeightedSquaredDistance(a.data(), b.data(), inv.data(),
+                                       a.size()));
 }
 
 CounterfactualResult WachterCounterfactual(
@@ -180,6 +189,12 @@ CounterfactualResult GrowingSpheresCounterfactual(
   // every thread count; candidates within an iteration are scored in
   // parallel and the winner is the (distance, sample index) minimum.
   const Rng root = rng->Split();
+  // Range scaling hoisted out of the sampling loops: one schema walk per
+  // search instead of one virtual-ish accessor per sample per feature.
+  const Vector ranges = FeatureRanges(schema);
+  Vector inv_ranges(ranges.size());
+  for (size_t c = 0; c < ranges.size(); ++c)
+    inv_ranges[c] = 1.0 / ranges[c];
   double radius = config.initial_radius;
   size_t iter = 0;
   for (; iter < config.max_iterations; ++iter) {
@@ -193,25 +208,23 @@ CounterfactualResult GrowingSpheresCounterfactual(
     std::vector<Best> bests(chunks.size());
     ParallelForChunks(0, samples, [&](const ChunkRange& chunk) {
       Best best;
+      Vector dir(x.size());
       for (size_t s = chunk.begin; s < chunk.end; ++s) {
         Rng sample_rng = root.Fork(iter * samples + s);
         // Random direction on the unit sphere, scaled per-feature by
-        // range.
+        // range: cand = x + (r / |dir|) * (range ⊙ dir).
         Vector cand = x;
-        Vector dir(x.size());
-        double norm = 0.0;
-        for (size_t c = 0; c < x.size(); ++c) {
-          dir[c] = sample_rng.Normal();
-          norm += dir[c] * dir[c];
-        }
-        norm = std::sqrt(std::max(norm, 1e-12));
+        for (size_t c = 0; c < dir.size(); ++c) dir[c] = sample_rng.Normal();
+        const double norm = std::sqrt(
+            std::max(kernels::Dot(dir.data(), dir.data(), dir.size()),
+                     1e-12));
         const double r = radius * (0.7 + 0.3 * sample_rng.Uniform());
-        for (size_t c = 0; c < x.size(); ++c) {
-          cand[c] += r * FeatureRange(schema.feature(c)) * dir[c] / norm;
-        }
+        kernels::ScaledAxpy(r / norm, ranges.data(), dir.data(),
+                            cand.data(), cand.size());
         Project(schema, x, config.respect_actionability, &cand);
         if (model.Predict(cand) == target) {
-          const double dist = NormalizedDistance(schema, x, cand);
+          const double dist = std::sqrt(kernels::WeightedSquaredDistance(
+              x.data(), cand.data(), inv_ranges.data(), x.size()));
           if (best.cand.empty() || dist < best.dist) {
             best.cand = std::move(cand);
             best.dist = dist;
@@ -264,6 +277,10 @@ GroupCounterfactuals CounterfactualsForNegatives(
   // lives in), so each search can skip spheres smaller than half the
   // distance to the nearest known flip.
   const size_t d = data.num_features();
+  // Range normalization via the standardization kernel with zero means:
+  // (x - 0) / range is exactly x / range.
+  const Vector ranges = FeatureRanges(data.schema());
+  const Vector zeros(d, 0.0);
   KdTree index;
   if (config.seed_radius_from_neighbors) {
     std::vector<size_t> targets;
@@ -273,10 +290,8 @@ GroupCounterfactuals CounterfactualsForNegatives(
     if (!targets.empty()) {
       Matrix pts(targets.size(), d);
       for (size_t r = 0; r < targets.size(); ++r) {
-        for (size_t c = 0; c < d; ++c) {
-          pts.At(r, c) = data.x().At(targets[r], c) /
-                         FeatureRange(data.schema().feature(c));
-        }
+        kernels::Standardize(data.x().RowPtr(targets[r]), zeros.data(),
+                             ranges.data(), pts.RowPtr(r), d);
       }
       index = KdTree(pts);
     }
@@ -289,9 +304,8 @@ GroupCounterfactuals CounterfactualsForNegatives(
     CounterfactualConfig cfg = config;
     if (!index.empty()) {
       Vector q(d);
-      for (size_t c = 0; c < d; ++c) {
-        q[c] = data.x().At(i, c) / FeatureRange(data.schema().feature(c));
-      }
+      kernels::Standardize(data.x().RowPtr(i), zeros.data(), ranges.data(),
+                           q.data(), d);
       const std::vector<size_t> nn = index.KNearest(q.data(), 1);
       const double dist = std::sqrt(index.SquaredDistance(q.data(), nn[0]));
       cfg.initial_radius = std::max(config.initial_radius, 0.5 * dist);

@@ -4,6 +4,7 @@
 
 #include "src/explain/tree_shap.h"
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -184,12 +185,15 @@ Vector ShapExplainInstance(const Model& model, const Dataset& background,
   const size_t d = x.size();
   CoalitionValue value = [&](const std::vector<bool>& mask) {
     // One batched prediction per coalition: background rows with the
-    // coalition's features overwritten by x.
+    // coalition's features overwritten by x. The bit-packed mask is
+    // widened to a byte mask once per coalition so the per-row assembly
+    // is the branch-free MaskedBlend kernel.
+    std::vector<uint8_t> keep(d);
+    for (size_t c = 0; c < d; ++c) keep[c] = mask[c] ? 1 : 0;
     Matrix z(background.size(), d);
     for (size_t b = 0; b < background.size(); ++b) {
-      const double* row = background.x().RowPtr(b);
-      double* out = z.RowPtr(b);
-      for (size_t c = 0; c < d; ++c) out[c] = mask[c] ? x[c] : row[c];
+      kernels::MaskedBlend(x.data(), background.x().RowPtr(b), keep.data(),
+                           z.RowPtr(b), d);
     }
     const Vector proba = model.PredictProbaBatch(z);
     double acc = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -34,17 +35,13 @@ std::vector<size_t> KnnClassifier::NeighborsBruteForce(const Vector& x,
   XFAIR_CHECK(x.size() == data_.num_features());
   const Matrix& pts = data_.x();
   // Squared distances in place against the row storage — no per-candidate
-  // temporaries. Same coordinate order (and therefore the same floating-
-  // point sums) as KdTree::SquaredDistance.
+  // temporaries. The same pinned-order kernel as KdTree::SquaredDistance,
+  // so both paths produce identical floating-point sums (and therefore
+  // identical neighbor orderings under distance ties).
   std::vector<std::pair<double, size_t>> dist(pts.rows());
   for (size_t i = 0; i < pts.rows(); ++i) {
-    const double* row = pts.RowPtr(i);
-    double acc = 0.0;
-    for (size_t c = 0; c < pts.cols(); ++c) {
-      const double diff = row[c] - x[c];
-      acc += diff * diff;
-    }
-    dist[i] = {acc, i};
+    dist[i] = {kernels::SquaredDistance(pts.RowPtr(i), x.data(), pts.cols()),
+               i};
   }
   std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
                     dist.end());

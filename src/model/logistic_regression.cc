@@ -3,21 +3,12 @@
 #include <cmath>
 
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
-namespace {
 
-double Sigmoid(double z) {
-  if (z >= 0) {
-    const double e = std::exp(-z);
-    return 1.0 / (1.0 + e);
-  }
-  const double e = std::exp(z);
-  return e / (1.0 + e);
-}
-
-}  // namespace
+using kernels::Sigmoid;
 
 Status LogisticRegression::Fit(const Dataset& data,
                                const LogisticRegressionOptions& options,
@@ -38,21 +29,30 @@ Status LogisticRegression::Fit(const Dataset& data,
 
   // Internally standardize features so plain gradient descent is well
   // conditioned on any input scale; parameters are folded back to the
-  // original space below.
+  // original space below. Column moments are accumulated row-major (one
+  // streaming pass per moment, no Matrix::Col copies) — per-column sums
+  // still run in ascending row order, so the moments are unchanged.
   Vector mean(d, 0.0), std(d, 1.0);
+  for (size_t i = 0; i < n; ++i)
+    kernels::Axpy(1.0, data.x().RowPtr(i), mean.data(), d);
+  for (size_t c = 0; c < d; ++c) mean[c] /= static_cast<double>(n);
+  Vector var(d, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    kernels::AccumSquaredDiff(data.x().RowPtr(i), mean.data(), var.data(),
+                              d);
   for (size_t c = 0; c < d; ++c) {
-    double m = 0.0;
-    for (size_t i = 0; i < n; ++i) m += data.x().At(i, c);
-    m /= static_cast<double>(n);
-    double var = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double delta = data.x().At(i, c) - m;
-      var += delta * delta;
-    }
-    var /= static_cast<double>(n);
-    mean[c] = m;
-    std[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    std[c] = var[c] / static_cast<double>(n) > 1e-12
+                 ? std::sqrt(var[c] / static_cast<double>(n))
+                 : 1.0;
   }
+
+  // Standardize once up front: the gradient loop then runs pure dense
+  // kernels on the pre-scaled rows instead of re-deriving
+  // (x - mean) / std per element per iteration.
+  Matrix xs(n, d);
+  for (size_t i = 0; i < n; ++i)
+    kernels::Standardize(data.x().RowPtr(i), mean.data(), std.data(),
+                         xs.RowPtr(i), d);
 
   Vector w(d, 0.0);
   double b = 0.0;
@@ -62,14 +62,11 @@ Status LogisticRegression::Fit(const Dataset& data,
     for (size_t i = 0; i < n; ++i) {
       const double wi = instance_weights.empty() ? 1.0 : instance_weights[i];
       if (wi == 0.0) continue;
-      const double* row = data.x().RowPtr(i);
-      double z = b;
-      for (size_t c = 0; c < d; ++c)
-        z += w[c] * (row[c] - mean[c]) / std[c];
+      const double* row = xs.RowPtr(i);
+      const double z = b + kernels::Dot(w.data(), row, d);
       const double err = Sigmoid(z) - static_cast<double>(data.label(i));
       const double scaled = wi * err;
-      for (size_t c = 0; c < d; ++c)
-        grad_w[c] += scaled * (row[c] - mean[c]) / std[c];
+      kernels::Axpy(scaled, row, grad_w.data(), d);
       grad_b += scaled;
     }
     double max_abs = std::fabs(grad_b / total_weight);
@@ -106,13 +103,16 @@ Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK(x.cols() == weights_.size());
   const size_t d = weights_.size();
   Vector out(x.rows());
-  ParallelFor(0, x.rows(), [&](size_t i) {
-    // Same accumulation order as PredictProba (dot first, bias last) so
-    // batch and row-by-row scores are bit-identical.
-    const double* row = x.RowPtr(i);
-    double z = 0.0;
-    for (size_t c = 0; c < d; ++c) z += weights_[c] * row[c];
-    out[i] = Sigmoid(z + bias_);
+  // Blocked Gemv + fused sigmoid per chunk. Each row's score is the
+  // pinned-order dot plus the bias — the exact arithmetic of
+  // PredictProba — so batch and row-by-row results are bit-identical at
+  // any chunking or thread count.
+  ParallelForChunks(0, x.rows(), [&](const ChunkRange& chunk) {
+    const size_t rows = chunk.end - chunk.begin;
+    kernels::Gemv(x.RowPtr(chunk.begin), rows, d, weights_.data(), bias_,
+                  out.data() + chunk.begin);
+    kernels::SigmoidBatch(out.data() + chunk.begin, out.data() + chunk.begin,
+                          rows);
   });
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -28,56 +29,51 @@ Status SoftmaxRegression::Fit(const Matrix& x,
     }
   }
 
-  // Internal standardization (same rationale as LogisticRegression).
+  // Internal standardization (same rationale as LogisticRegression):
+  // row-major moment passes, then one standardized copy so the gradient
+  // loop below is pure dense kernels.
   Vector mean(d, 0.0), std(d, 1.0);
+  for (size_t i = 0; i < n; ++i)
+    kernels::Axpy(1.0, x.RowPtr(i), mean.data(), d);
+  for (size_t c = 0; c < d; ++c) mean[c] /= static_cast<double>(n);
+  Vector var(d, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    kernels::AccumSquaredDiff(x.RowPtr(i), mean.data(), var.data(), d);
   for (size_t c = 0; c < d; ++c) {
-    double m = 0.0;
-    for (size_t i = 0; i < n; ++i) m += x.At(i, c);
-    m /= static_cast<double>(n);
-    double var = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double delta = x.At(i, c) - m;
-      var += delta * delta;
-    }
-    var /= static_cast<double>(n);
-    mean[c] = m;
-    std[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+    std[c] = var[c] / static_cast<double>(n) > 1e-12
+                 ? std::sqrt(var[c] / static_cast<double>(n))
+                 : 1.0;
   }
+  Matrix xs(n, d);
+  for (size_t i = 0; i < n; ++i)
+    kernels::Standardize(x.RowPtr(i), mean.data(), std.data(),
+                         xs.RowPtr(i), d);
 
   Matrix w(num_classes, d);
   Vector b(num_classes, 0.0);
-  Vector logits(num_classes), probs(num_classes);
+  Vector probs(num_classes);
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
     Matrix grad_w(num_classes, d);
     Vector grad_b(num_classes, 0.0);
     for (size_t i = 0; i < n; ++i) {
-      double max_logit = -1e300;
-      for (size_t k = 0; k < num_classes; ++k) {
-        double z = b[k];
-        for (size_t c = 0; c < d; ++c)
-          z += w.At(k, c) * (x.At(i, c) - mean[c]) / std[c];
-        logits[k] = z;
-        max_logit = std::max(max_logit, z);
-      }
-      double denom = 0.0;
-      for (size_t k = 0; k < num_classes; ++k) {
-        probs[k] = std::exp(logits[k] - max_logit);
-        denom += probs[k];
-      }
+      const double* row = xs.RowPtr(i);
+      kernels::GemvBias(w.RowPtr(0), num_classes, d, row, b.data(),
+                        probs.data());
+      kernels::SoftmaxRow(probs.data(), num_classes);
       for (size_t k = 0; k < num_classes; ++k) {
         const double err =
-            probs[k] / denom -
-            (labels[i] == static_cast<int>(k) ? 1.0 : 0.0);
-        for (size_t c = 0; c < d; ++c)
-          grad_w.At(k, c) += err * (x.At(i, c) - mean[c]) / std[c];
+            probs[k] - (labels[i] == static_cast<int>(k) ? 1.0 : 0.0);
+        kernels::Axpy(err, row, grad_w.RowPtr(k), d);
         grad_b[k] += err;
       }
     }
     for (size_t k = 0; k < num_classes; ++k) {
+      const double* gw = grad_w.RowPtr(k);
+      double* wk = w.RowPtr(k);
       for (size_t c = 0; c < d; ++c) {
-        const double g = grad_w.At(k, c) / static_cast<double>(n) +
-                         options.l2 * w.At(k, c);
-        w.At(k, c) -= options.learning_rate * g;
+        const double g =
+            gw[c] / static_cast<double>(n) + options.l2 * wk[c];
+        wk[c] -= options.learning_rate * g;
       }
       b[k] -= options.learning_rate * grad_b[k] / static_cast<double>(n);
     }
@@ -101,18 +97,17 @@ Vector SoftmaxRegression::PredictProba(const Vector& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.size() == weights_.cols());
   Vector logits(num_classes_);
-  double max_logit = -1e300;
-  for (size_t k = 0; k < num_classes_; ++k) {
-    logits[k] = biases_[k] + Dot(weights_.Row(k), x);
-    max_logit = std::max(max_logit, logits[k]);
-  }
-  double denom = 0.0;
-  for (size_t k = 0; k < num_classes_; ++k) {
-    logits[k] = std::exp(logits[k] - max_logit);
-    denom += logits[k];
-  }
-  for (double& p : logits) p /= denom;
+  ProbaFromRow(x.data(), logits.data());
   return logits;
+}
+
+/// Shared kernel path: logits = biases + W x (pinned per-class dots, no
+/// weight-row copies), normalized in place. Single-row and batched
+/// predictions are bit-identical because both end here.
+void SoftmaxRegression::ProbaFromRow(const double* row, double* probs) const {
+  kernels::GemvBias(weights_.RowPtr(0), num_classes_, weights_.cols(), row,
+                    biases_.data(), probs);
+  kernels::SoftmaxRow(probs, num_classes_);
 }
 
 int SoftmaxRegression::Predict(const Vector& x) const {
@@ -125,17 +120,21 @@ Matrix SoftmaxRegression::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.cols() == weights_.cols());
   Matrix out(x.rows(), num_classes_);
-  ParallelFor(0, x.rows(), [&](size_t i) {
-    const Vector probs = PredictProba(x.Row(i));
-    out.SetRow(i, probs);
-  });
+  ParallelFor(0, x.rows(),
+              [&](size_t i) { ProbaFromRow(x.RowPtr(i), out.RowPtr(i)); });
   return out;
 }
 
 std::vector<int> SoftmaxRegression::PredictBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
+  XFAIR_CHECK(x.cols() == weights_.cols());
   std::vector<int> out(x.rows());
-  ParallelFor(0, x.rows(), [&](size_t i) { out[i] = Predict(x.Row(i)); });
+  ParallelFor(0, x.rows(), [&](size_t i) {
+    Vector probs(num_classes_);
+    ProbaFromRow(x.RowPtr(i), probs.data());
+    out[i] = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  });
   return out;
 }
 
@@ -146,8 +145,9 @@ Vector MulticlassParityProfile(const SoftmaxRegression& model,
   const size_t k = model.num_classes();
   Vector count_g0(k, 0.0), count_g1(k, 0.0);
   size_t n0 = 0, n1 = 0;
+  const std::vector<int> preds = model.PredictBatch(x);
   for (size_t i = 0; i < x.rows(); ++i) {
-    const int pred = model.Predict(x.Row(i));
+    const int pred = preds[i];
     if (groups[i] == 0) {
       count_g0[static_cast<size_t>(pred)] += 1.0;
       ++n0;
@@ -179,8 +179,9 @@ double MulticlassAccuracy(const SoftmaxRegression& model, const Matrix& x,
   XFAIR_CHECK(x.rows() == labels.size());
   if (x.rows() == 0) return 0.0;
   size_t correct = 0;
+  const std::vector<int> preds = model.PredictBatch(x);
   for (size_t i = 0; i < x.rows(); ++i) {
-    correct += static_cast<size_t>(model.Predict(x.Row(i)) == labels[i]);
+    correct += static_cast<size_t>(preds[i] == labels[i]);
   }
   return static_cast<double>(correct) / static_cast<double>(x.rows());
 }

@@ -44,6 +44,10 @@ class SoftmaxRegression {
   std::vector<int> PredictBatch(const Matrix& x) const;
 
  private:
+  /// Writes the num_classes() probabilities for one feature row into
+  /// `probs` — the single kernel-backed path all predictions go through.
+  void ProbaFromRow(const double* row, double* probs) const;
+
   bool fitted_ = false;
   size_t num_classes_ = 0;
   Matrix weights_;  // num_classes x d.

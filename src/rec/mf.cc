@@ -3,16 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/kernels.h"
+
 namespace xfair {
-namespace {
-
-double Sigmoid(double z) {
-  if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
-  const double e = std::exp(z);
-  return e / (1.0 + e);
-}
-
-}  // namespace
 
 Status MatrixFactorization::Fit(const Interactions& interactions,
                                 const MfOptions& options) {
@@ -35,18 +28,15 @@ Status MatrixFactorization::Fit(const Interactions& interactions,
     for (size_t f = 0; f < rank_; ++f)
       items_.At(i, f) = rng.Normal(0.0, 0.1);
 
+  // Each SGD step is two dense kernels on the contiguous factor rows:
+  // a pinned-order dot for the score and a fused paired update.
   auto update = [&](size_t u, size_t i, double label) {
-    double z = 0.0;
-    for (size_t f = 0; f < rank_; ++f)
-      z += users_.At(u, f) * items_.At(i, f);
-    const double err = Sigmoid(z) - label;
-    for (size_t f = 0; f < rank_; ++f) {
-      const double pu = users_.At(u, f), qi = items_.At(i, f);
-      users_.At(u, f) -=
-          options.learning_rate * (err * qi + options.l2 * pu);
-      items_.At(i, f) -=
-          options.learning_rate * (err * pu + options.l2 * qi);
-    }
+    double* pu = users_.RowPtr(u);
+    double* qi = items_.RowPtr(i);
+    const double z = kernels::Dot(pu, qi, rank_);
+    const double err = kernels::Sigmoid(z) - label;
+    kernels::SgdPairUpdate(pu, qi, options.learning_rate, err, options.l2,
+                           rank_);
   };
 
   std::vector<std::pair<size_t, size_t>> positives = interactions.pairs();
@@ -67,10 +57,7 @@ Status MatrixFactorization::Fit(const Interactions& interactions,
 double MatrixFactorization::Score(size_t user, size_t item) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(user < users_.rows() && item < items_.rows());
-  double z = 0.0;
-  for (size_t f = 0; f < rank_; ++f)
-    z += users_.At(user, f) * items_.At(item, f);
-  return z;
+  return kernels::Dot(users_.RowPtr(user), items_.RowPtr(item), rank_);
 }
 
 double MatrixFactorization::ScoreWithDampedFactor(size_t user, size_t item,

@@ -1,11 +1,13 @@
 #include "src/unfair/fairness_shap.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/explain/tree_shap.h"
 #include "src/fairness/group_metrics.h"
 #include "src/model/logistic_regression.h"
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 
 namespace xfair {
 namespace {
@@ -53,13 +55,13 @@ FairnessShapReport ExplainParityWithShapley(
       return StatisticalParityDifference(lr, sub);
     };
   } else {
-    // Masking mode: marginalize absent features to the global mean.
-    Vector background(d);
-    for (size_t c = 0; c < d; ++c) {
-      double acc = 0.0;
-      for (size_t i = 0; i < data.size(); ++i) acc += data.x().At(i, c);
-      background[c] = acc / static_cast<double>(data.size());
-    }
+    // Masking mode: marginalize absent features to the global mean,
+    // accumulated row-major (per-column sums keep ascending row order).
+    Vector background(d, 0.0);
+    for (size_t i = 0; i < data.size(); ++i)
+      kernels::Axpy(1.0, data.x().RowPtr(i), background.data(), d);
+    for (size_t c = 0; c < d; ++c)
+      background[c] /= static_cast<double>(data.size());
     const size_t sample = std::min<size_t>(
         data.size(), std::max<size_t>(options.background_size * 10, 200));
     auto rows = rng.SampleWithoutReplacement(data.size(), sample);
@@ -87,12 +89,11 @@ FairnessShapReport ExplainParityWithShapley(
       // Endpoint gaps come from direct evaluation: full = original rows,
       // baseline = every feature masked to the background means.
       auto gap_with_mask = [&](bool keep) {
+        const std::vector<uint8_t> mask(d, keep ? 1 : 0);
         Matrix z(rows.size(), d);
         for (size_t r = 0; r < rows.size(); ++r) {
-          const double* row = data.x().RowPtr(rows[r]);
-          double* out = z.RowPtr(r);
-          for (size_t c = 0; c < d; ++c)
-            out[c] = keep ? row[c] : background[c];
+          kernels::MaskedBlend(data.x().RowPtr(rows[r]), background.data(),
+                               mask.data(), z.RowPtr(r), d);
         }
         const std::vector<int> pred = model.PredictBatch(z);
         double pos[2] = {0.0, 0.0};
@@ -121,14 +122,15 @@ FairnessShapReport ExplainParityWithShapley(
       XFAIR_COUNTER_ADD("fairness_shap/coalitions", 1);
       // One batched prediction per coalition instead of a virtual call
       // per row: the coalition's features come from the data row, the
-      // rest from the background means.
+      // rest from the background means. The bit-packed mask is widened
+      // to a byte mask once so each row is one branch-free MaskedBlend.
       const size_t dim = mask.size();
+      std::vector<uint8_t> keep(dim);
+      for (size_t c = 0; c < dim; ++c) keep[c] = mask[c] ? 1 : 0;
       Matrix z(rows.size(), dim);
       for (size_t r = 0; r < rows.size(); ++r) {
-        const double* row = data.x().RowPtr(rows[r]);
-        double* out = z.RowPtr(r);
-        for (size_t c = 0; c < dim; ++c)
-          out[c] = mask[c] ? row[c] : background[c];
+        kernels::MaskedBlend(data.x().RowPtr(rows[r]), background.data(),
+                             keep.data(), z.RowPtr(r), dim);
       }
       const std::vector<int> pred = model.PredictBatch(z);
       double pos[2] = {0.0, 0.0};

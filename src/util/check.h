@@ -36,4 +36,24 @@ namespace xfair::internal {
       ::xfair::internal::CheckFail(__FILE__, __LINE__, #cond, msg);    \
   } while (0)
 
+// Debug-only check for per-element hot paths (Matrix::At and friends).
+// Armed in Debug builds (no NDEBUG) and whenever the build opts in via
+// XFAIR_DCHECK_ENABLED — which CMake defines for every sanitizer
+// configuration, so ASan/UBSan/TSan runs always see the full checks. In
+// plain release builds it compiles to nothing (the condition is not
+// evaluated, only syntax-checked), which is what lets the dense kernels
+// and flat-tree inference vectorize.
+#if defined(XFAIR_DCHECK_ENABLED) || !defined(NDEBUG)
+#define XFAIR_DCHECK_IS_ON 1
+#define XFAIR_DCHECK(cond) XFAIR_CHECK(cond)
+#define XFAIR_DCHECK_MSG(cond, msg) XFAIR_CHECK_MSG(cond, msg)
+#else
+#define XFAIR_DCHECK_IS_ON 0
+#define XFAIR_DCHECK(cond)       \
+  do {                           \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define XFAIR_DCHECK_MSG(cond, msg) XFAIR_DCHECK(cond)
+#endif
+
 #endif  // XFAIR_UTIL_CHECK_H_

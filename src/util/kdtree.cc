@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 
 namespace xfair {
 namespace {
@@ -73,13 +74,9 @@ int32_t KdTree::Build(uint32_t begin, uint32_t end, size_t leaf_size) {
 }
 
 double KdTree::SquaredDistance(const double* q, size_t row) const {
-  const double* p = points_.RowPtr(row);
-  double acc = 0.0;
-  for (size_t c = 0; c < points_.cols(); ++c) {
-    const double diff = p[c] - q[c];
-    acc += diff * diff;
-  }
-  return acc;
+  // Pinned-order dense kernel: brute-force reference scans must use the
+  // same kernel to stay bit-identical (see KnnClassifier).
+  return kernels::SquaredDistance(points_.RowPtr(row), q, points_.cols());
 }
 
 void KdTree::Search(int32_t node, const double* q, size_t k,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/kernels.h"
+
 namespace xfair {
 
 Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
@@ -41,23 +43,14 @@ void Matrix::SetRow(size_t r, const Vector& v) {
 Vector Matrix::MatVec(const Vector& v) const {
   XFAIR_CHECK(v.size() == cols_);
   Vector out(rows_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double acc = 0.0;
-    for (size_t c = 0; c < cols_; ++c) acc += row[c] * v[c];
-    out[r] = acc;
-  }
+  kernels::Gemv(data_.data(), rows_, cols_, v.data(), 0.0, out.data());
   return out;
 }
 
 Vector Matrix::TransposeMatVec(const Vector& v) const {
   XFAIR_CHECK(v.size() == rows_);
   Vector out(cols_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    const double vr = v[r];
-    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
-  }
+  kernels::MatVecT(data_.data(), rows_, cols_, v.data(), out.data());
   return out;
 }
 
@@ -68,9 +61,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
     for (size_t k = 0; k < cols_; ++k) {
       const double aik = At(i, k);
       if (aik == 0.0) continue;
-      const double* brow = other.RowPtr(k);
-      double* orow = out.RowPtr(i);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+      kernels::Axpy(aik, other.RowPtr(k), out.RowPtr(i), other.cols_);
     }
   }
   return out;
@@ -85,9 +76,7 @@ Matrix Matrix::Transposed() const {
 
 double Dot(const Vector& a, const Vector& b) {
   XFAIR_CHECK(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
@@ -107,7 +96,7 @@ size_t NonZeroCount(const Vector& a, double tol) {
 
 void Axpy(double alpha, const Vector& x, Vector* y) {
   XFAIR_CHECK(x.size() == y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  kernels::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 Vector Sub(const Vector& a, const Vector& b) {

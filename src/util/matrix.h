@@ -9,6 +9,7 @@
 #define XFAIR_UTIL_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/util/check.h"
@@ -35,23 +36,44 @@ class Matrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  // Element access is bounds-checked only in Debug/sanitizer builds
+  // (XFAIR_DCHECK): a per-element branch in release defeats
+  // auto-vectorization of every fit/predict/distance loop, and the dense
+  // kernel layer (src/util/kernels.h) these loops run through validates
+  // shapes once per call instead. Sanitizer configurations re-arm the
+  // checks, so an out-of-bounds index still aborts in scripts/verify.sh's
+  // ASan/UBSan/TSan stages.
   double& At(size_t r, size_t c) {
-    XFAIR_CHECK(r < rows_ && c < cols_);
+    XFAIR_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
   double At(size_t r, size_t c) const {
-    XFAIR_CHECK(r < rows_ && c < cols_);
+    XFAIR_DCHECK(r < rows_ && c < cols_);
     return data_[r * cols_ + c];
   }
 
+  /// Unchecked-in-release element access, same contract as At.
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
   /// Pointer to the start of row r (contiguous, cols() entries).
   const double* RowPtr(size_t r) const {
-    XFAIR_CHECK(r < rows_);
+    XFAIR_DCHECK(r < rows_);
     return data_.data() + r * cols_;
   }
   double* RowPtr(size_t r) {
-    XFAIR_CHECK(r < rows_);
+    XFAIR_DCHECK(r < rows_);
     return data_.data() + r * cols_;
+  }
+
+  /// Row r as a span (no copy, cols() entries).
+  std::span<const double> RowSpan(size_t r) const {
+    XFAIR_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> RowSpan(size_t r) {
+    XFAIR_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
   }
 
   /// Copy of row r as a Vector.

@@ -341,6 +341,48 @@ TEST(ParallelExplain, SeededGroupCounterfactualsAreThreadCountInvariant) {
       });
 }
 
+TEST(ParallelModel, LogisticFitAndBatchAreThreadCountInvariant) {
+  // The kernel-backed LR fit and its chunk-parallel PredictProbaBatch
+  // must produce bit-identical weights and probabilities at 1/2/8
+  // threads: every reduction runs in the pinned kernel order and chunk
+  // boundaries only partition rows.
+  Dataset data = CreditGen().Generate(300, 520);
+  Dataset probe = CreditGen().Generate(64, 521);
+  using Out = std::pair<Vector, Vector>;
+  ExpectSameAcrossThreadCounts<Out>(
+      [&] {
+        LogisticRegression model;
+        XFAIR_CHECK(model.Fit(data).ok());
+        return Out{model.weights(), model.PredictProbaBatch(probe.x())};
+      },
+      [](const Out& a, const Out& b) {
+        ASSERT_EQ(a.first.size(), b.first.size());
+        for (size_t i = 0; i < a.first.size(); ++i)
+          EXPECT_EQ(a.first[i], b.first[i]);
+        ASSERT_EQ(a.second.size(), b.second.size());
+        for (size_t i = 0; i < a.second.size(); ++i)
+          EXPECT_EQ(a.second[i], b.second[i]);
+      });
+}
+
+TEST(ParallelModel, SoftmaxFitAndBatchAreThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(250, 522);
+  Dataset probe = CreditGen().Generate(40, 523);
+  ExpectSameAcrossThreadCounts<Matrix>(
+      [&] {
+        SoftmaxRegression model;
+        XFAIR_CHECK(model.Fit(data.x(), data.labels(), 2).ok());
+        return model.PredictProbaBatch(probe.x());
+      },
+      [](const Matrix& a, const Matrix& b) {
+        ASSERT_EQ(a.rows(), b.rows());
+        ASSERT_EQ(a.cols(), b.cols());
+        for (size_t r = 0; r < a.rows(); ++r)
+          for (size_t c = 0; c < a.cols(); ++c)
+            EXPECT_EQ(a.At(r, c), b.At(r, c));
+      });
+}
+
 TEST(ParallelModel, ForestFitIsThreadCountInvariant) {
   Dataset data = CreditGen().Generate(300, 503);
   Dataset probe = CreditGen().Generate(50, 504);
