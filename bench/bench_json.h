@@ -99,7 +99,8 @@ inline ProfiledRun ProfileWorkload(const std::function<void()>& workload) {
 inline void WriteBenchJson(const std::string& name, double baseline_ms,
                            double optimized_ms, double serial_ms,
                            double parallel_ms, size_t threads,
-                           const ProfiledRun& profile = {}) {
+                           const ProfiledRun& profile = {},
+                           const std::string& extra_json = "") {
   const double algo_speedup =
       optimized_ms > 0.0 ? baseline_ms / optimized_ms : 0.0;
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
@@ -120,12 +121,13 @@ inline void WriteBenchJson(const std::string& name, double baseline_ms,
                "  \"speedup\": %.3f,\n"
                "  \"threads\": %zu,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "%s"
                "  \"stages\": %s,\n"
                "  \"counters\": %s\n"
                "}\n",
                name.c_str(), baseline_ms, optimized_ms, algo_speedup,
                serial_ms, parallel_ms, speedup, threads,
-               std::thread::hardware_concurrency(),
+               std::thread::hardware_concurrency(), extra_json.c_str(),
                profile.stages_json.c_str(), profile.counters_json.c_str());
   std::fclose(f);
   std::printf("[bench_json] %s: baseline %.1f ms, optimized %.1f ms "
@@ -160,11 +162,14 @@ inline void RecordParallelSpeedup(const std::string& name,
 /// so algo_speedup = baseline_ms / optimized_ms is a pure
 /// algorithmic-improvement ratio, uncontaminated by threading — then
 /// re-times `optimized` at XFAIR_BENCH_THREADS workers for the thread-
-/// scaling fields, and writes BENCH_<name>.json.
+/// scaling fields, and writes BENCH_<name>.json. `extra_json` is spliced
+/// into the artifact verbatim as additional top-level fields; it must be
+/// empty or a sequence of `  "key": value,\n` lines.
 inline void RecordAlgoSpeedup(const std::string& name,
                               const std::function<void()>& baseline,
                               const std::function<void()>& optimized,
-                              int repeats = 3) {
+                              int repeats = 3,
+                              const std::string& extra_json = "") {
   const size_t threads = bench_json_internal::BenchThreads();
   SetParallelThreads(1);
   const double baseline_ms = bench_json_internal::TimeMs(baseline, repeats);
@@ -175,7 +180,7 @@ inline void RecordAlgoSpeedup(const std::string& name,
   SetParallelThreads(0);
   bench_json_internal::WriteBenchJson(name, baseline_ms, optimized_ms,
                                       optimized_ms, parallel_ms, threads,
-                                      profile);
+                                      profile, extra_json);
 }
 
 }  // namespace xfair

@@ -224,6 +224,54 @@ void PrintOnce() {
       }
       benchmark::DoNotOptimize(acc);
     };
+    // Monitor overhead on a flat-tree batch workload, the shipped
+    // PredictProbaBatch path the streaming hook instruments:
+    //   off    — monitoring disabled (the hook is one relaxed load);
+    //   idle   — monitoring enabled, no stream context installed;
+    //   active — enabled with a stream context, one drain per batch.
+    std::string monitor_json;
+    {
+      Dataset mdata = WideDataset(4000, 308);
+      RandomForest forest;
+      RandomForestOptions fopts;
+      fopts.num_trees = 30;
+      XFAIR_CHECK(forest.Fit(mdata, fopts).ok());
+      obs::MonitorOptions mopts;
+      mopts.window = 512;
+      obs::FairnessMonitor monitor("bench/obs_overhead", mopts);
+      auto batch = [&] {
+        benchmark::DoNotOptimize(forest.PredictProbaBatch(mdata.x()));
+      };
+      SetParallelThreads(1);
+      obs::SetMonitoringEnabled(false);
+      const double off_ms = bench_json_internal::TimeMs(batch, 5);
+      obs::SetMonitoringEnabled(true);
+      const double idle_ms = bench_json_internal::TimeMs(batch, 5);
+      const double active_ms = bench_json_internal::TimeMs(
+          [&] {
+            obs::ScopedStreamContext stream(&monitor,
+                                            mdata.groups().data(),
+                                            mdata.labels().data(),
+                                            mdata.size());
+            batch();
+            monitor.Drain();
+          },
+          5);
+      obs::SetMonitoringEnabled(false);
+      SetParallelThreads(0);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  \"monitor\": {\"off_ms\": %.3f, \"idle_ms\": %.3f, "
+                    "\"active_ms\": %.3f, \"idle_overhead_pct\": %.1f, "
+                    "\"active_overhead_pct\": %.1f},\n",
+                    off_ms, idle_ms, active_ms,
+                    off_ms > 0.0 ? 100.0 * (idle_ms / off_ms - 1.0) : 0.0,
+                    off_ms > 0.0
+                        ? 100.0 * (active_ms / off_ms - 1.0)
+                        : 0.0);
+      monitor_json = buf;
+    }
+
     RecordAlgoSpeedup(
         "obs_overhead",
         [&] {
@@ -232,7 +280,7 @@ void PrintOnce() {
           obs::SetTracingEnabled(false);
           obs::FlushSpans();  // Drain so buffers never grow unboundedly.
         },
-        workload, /*repeats=*/5);
+        workload, /*repeats=*/5, monitor_json);
   }
 
   // e. Dense kernels vs the pre-kernel per-element checked-At loops.

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json artifacts and fail on regressions.
+
+Usage: bench_compare.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+       [--min-ms MS]
+
+For every BENCH_<name>.json present in both directories, compares
+
+  * optimized_ms  — regression when current > baseline * (1 + threshold)
+  * algo_speedup  — regression when current < baseline * (1 - threshold)
+
+and exits nonzero if any comparison regresses by more than the threshold
+(default 15%). Workloads faster than --min-ms (default 1.0 ms) in the
+baseline are reported but never fail the gate: at sub-millisecond scale
+the scheduler owns more of the measurement than the algorithm does.
+Benches present on only one side are reported but do not fail the gate.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression threshold in percent (default 15)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="ignore optimized_ms regressions when the "
+                         "baseline is below this (default 1.0 ms)")
+    args = ap.parse_args()
+    frac = args.threshold / 100.0
+
+    base_files = {os.path.basename(p): p for p in sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))}
+    cur_files = {os.path.basename(p): p for p in sorted(
+        glob.glob(os.path.join(args.current_dir, "BENCH_*.json")))}
+    if not base_files:
+        print(f"bench_compare: no BENCH_*.json in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name in sorted(set(base_files) | set(cur_files)):
+        if name not in base_files:
+            print(f"  {name}: only in current (new bench, not gated)")
+            continue
+        if name not in cur_files:
+            print(f"  {name}: MISSING from current run (not gated)")
+            continue
+        base = load(base_files[name])
+        cur = load(cur_files[name])
+        rows = []
+
+        b_ms, c_ms = base.get("optimized_ms"), cur.get("optimized_ms")
+        if b_ms is not None and c_ms is not None and b_ms > 0:
+            delta = 100.0 * (c_ms / b_ms - 1.0)
+            bad = c_ms > b_ms * (1.0 + frac) and b_ms >= args.min_ms
+            rows.append(("optimized_ms", b_ms, c_ms, delta, bad))
+
+        b_sp, c_sp = base.get("algo_speedup"), cur.get("algo_speedup")
+        if b_sp is not None and c_sp is not None and b_sp > 0:
+            delta = 100.0 * (c_sp / b_sp - 1.0)
+            bad = c_sp < b_sp * (1.0 - frac)
+            rows.append(("algo_speedup", b_sp, c_sp, delta, bad))
+
+        for field, b, c, delta, bad in rows:
+            mark = "REGRESSION" if bad else "ok"
+            print(f"  {name} {field}: {b:.3f} -> {c:.3f} "
+                  f"({delta:+.1f}%) {mark}")
+            if bad:
+                regressions.append((name, field, delta))
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, field, delta in regressions:
+            print(f"  {name} {field} {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print("bench_compare: no regressions beyond "
+          f"{args.threshold:.0f}% threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

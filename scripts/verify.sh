@@ -48,15 +48,33 @@ cmake --build build-nosimd -j --target xfair_tests parallel_test
 ./build-nosimd/tests/parallel_test --gtest_filter='BatchConsistencyTest.*:ParallelModel.*'
 
 echo
-echo "== XFAIR_OBS=0 compile check (spans/counters as no-ops) =="
+echo "== XFAIR_OBS=0 compile check (spans/counters/monitors as no-ops) =="
 cmake -B build-noobs -S . -DXFAIR_OBS=OFF > /dev/null
-cmake --build build-noobs -j --target xfair_tests
-./build-noobs/tests/xfair_tests --gtest_filter='Counters.*:Tracer.*:BitIdentity.*'
+cmake --build build-noobs -j --target xfair_tests example_monitor_stream
+./build-noobs/tests/xfair_tests \
+  --gtest_filter='Counters.*:Tracer.*:BitIdentity.*:Monitor*:Exposition.*:Histograms.*'
+# The same example binary must run with zero monitoring output when the
+# layer is compiled out (no alarms, no summaries, no artifacts).
+noobs_out=$(./build-noobs/examples/example_monitor_stream \
+  --events 512 --shift 256 --window 128)
+if [[ -n "$noobs_out" ]]; then
+  echo "XFAIR_OBS=OFF example_monitor_stream produced output:" >&2
+  echo "$noobs_out" >&2
+  exit 1
+fi
+
+echo
+echo "== bench-regression gate smoke (committed artifacts vs themselves) =="
+python3 scripts/bench_compare.py . .
 
 if [[ "$run_bench" == 1 ]]; then
   echo
-  echo "== bench artifacts (scripts/bench.sh) =="
+  echo "== bench artifacts (scripts/bench.sh) + regression gate =="
+  baseline_dir=build/bench-baseline
+  rm -rf "$baseline_dir" && mkdir -p "$baseline_dir"
+  cp BENCH_*.json "$baseline_dir"/
   ./scripts/bench.sh
+  python3 scripts/bench_compare.py "$baseline_dir" .
 fi
 
 echo

@@ -147,6 +147,7 @@ Vector DecisionTree::PredictProbaBatch(const Matrix& x) const {
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
               [&](size_t i) { out[i] = flat_.PredictRow(x.RowPtr(i)); });
+  XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }
 

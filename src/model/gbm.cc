@@ -177,6 +177,7 @@ Vector GradientBoostedTrees::PredictProbaBatch(const Matrix& x) const {
   ParallelFor(0, x.rows(), [&](size_t i) {
     out[i] = Sigmoid(flat_.ScaledSumRow(x.RowPtr(i), learning_rate_, bias_));
   });
+  XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }
 

@@ -69,6 +69,7 @@ Vector KnnClassifier::PredictProbaBatch(const Matrix& x) const {
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
               [&](size_t i) { out[i] = ProbaFromRow(x.RowPtr(i)); });
+  XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }
 

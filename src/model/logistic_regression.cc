@@ -114,6 +114,7 @@ Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {
     kernels::SigmoidBatch(out.data() + chunk.begin, out.data() + chunk.begin,
                           rows);
   });
+  XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "src/model/model.h"
 
+#include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -8,6 +9,7 @@ Vector Model::PredictProbaBatch(const Matrix& x) const {
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
               [&](size_t i) { out[i] = PredictProba(x.Row(i)); });
+  XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }
 

@@ -122,6 +122,18 @@ Matrix SoftmaxRegression::PredictProbaBatch(const Matrix& x) const {
   Matrix out(x.rows(), num_classes_);
   ParallelFor(0, x.rows(),
               [&](size_t i) { ProbaFromRow(x.RowPtr(i), out.RowPtr(i)); });
+  // Binary softmax streams into an attached fairness monitor like the
+  // Vector-returning models: score = P(class 1), hard decision = argmax
+  // (class 0 wins probability ties, matching Predict).
+  if (XFAIR_MONITOR_ACTIVE(x.rows()) && num_classes_ == 2) {
+    std::vector<double> p1(x.rows());
+    std::vector<int> pred(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      p1[i] = out.At(i, 1);
+      pred[i] = out.At(i, 1) > out.At(i, 0) ? 1 : 0;
+    }
+    obs::MonitorPredictionBatch(p1.data(), pred.data(), x.rows());
+  }
   return out;
 }
 

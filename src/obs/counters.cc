@@ -1,6 +1,7 @@
 #include "src/obs/counters.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 
@@ -69,6 +70,35 @@ void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramQuantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(h.count);
+  double cum = 0.0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const double cb = static_cast<double>(h.buckets[b]);
+    if (cum + cb < target) {
+      cum += cb;
+      continue;
+    }
+    if (b == 0) return 0.0;
+    // Bucket b holds values with bit width b: [2^(b-1), 2^b).
+    const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(b));
+    const double frac =
+        cb == 0.0 ? 0.0 : std::min(1.0, std::max(0.0, (target - cum) / cb));
+    return lo + frac * (hi - lo);
+  }
+  // All mass consumed (q == 1 with rounding): the top occupied bucket.
+  for (size_t b = Histogram::kBuckets; b-- > 0;) {
+    if (h.buckets[b] != 0) {
+      return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  return 0.0;
 }
 
 Counter& GetCounter(std::string_view name) {

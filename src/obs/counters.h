@@ -100,6 +100,14 @@ struct HistogramSnapshot {
   std::array<uint64_t, Histogram::kBuckets> buckets{};
 };
 
+/// Quantile estimate from a power-of-two histogram snapshot: finds the
+/// bucket holding rank q * count and interpolates linearly inside its
+/// value range ([2^(i-1), 2^i) for bucket i >= 1; bucket 0 is exactly
+/// 0). Within one bucket the estimate is off by at most the bucket
+/// width, which is the resolution these histograms promise. Returns 0
+/// for an empty histogram; q is clamped to [0, 1].
+double HistogramQuantile(const HistogramSnapshot& h, double q);
+
 /// All registered counters, sorted by name (deterministic export order).
 std::vector<CounterSnapshot> SnapshotCounters();
 

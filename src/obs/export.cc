@@ -122,7 +122,10 @@ std::string CountersToJson() {
     out += i == 0 ? "\n" : ",\n";
     out += "    \"" + JsonEscape(h.name) + "\": {\"count\": " +
            std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
-           ", \"mean\": " + FormatMs(mean) + "}";
+           ", \"mean\": " + FormatMs(mean) +
+           ", \"p50\": " + FormatMs(HistogramQuantile(h, 0.50)) +
+           ", \"p95\": " + FormatMs(HistogramQuantile(h, 0.95)) +
+           ", \"p99\": " + FormatMs(HistogramQuantile(h, 0.99)) + "}";
   }
   out += "\n  }\n}\n";
   return out;

@@ -1,0 +1,513 @@
+#include "src/obs/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace xfair::obs {
+
+namespace detail {
+
+double PageHinkleyState::Update(double x, double delta, double lambda) {
+  ++n;
+  mean += (x - mean) / static_cast<double>(n);
+  inc += x - mean - delta;
+  inc_min = std::min(inc_min, inc);
+  dec += x - mean + delta;
+  dec_max = std::max(dec_max, dec);
+  if (inc - inc_min > lambda) return inc - inc_min;
+  if (dec_max - dec > lambda) return dec_max - dec;
+  return 0.0;
+}
+
+double CusumState::Update(double x, double k, double h) {
+  ++n;
+  mean += (x - mean) / static_cast<double>(n);
+  pos = std::max(0.0, pos + x - mean - k);
+  neg = std::max(0.0, neg + mean - x - k);
+  if (pos > h) return pos;
+  if (neg > h) return neg;
+  return 0.0;
+}
+
+}  // namespace detail
+
+/// Per-thread event storage, the trace.cc ThreadBuffer design: the
+/// owning thread appends without a lock (block addresses are stable, the
+/// entry count is release-published), a tiny mutex guards only the block
+/// list; the drainer reads under that mutex once ingestion has quiesced.
+struct FairnessMonitor::EventBuffer {
+  static constexpr size_t kBlockSize = 1024;
+  using Block = std::array<MonitorEvent, kBlockSize>;
+
+  uint32_t ordinal = 0;  ///< Registration index, for duplicate-seq ties.
+  std::atomic<size_t> size{0};
+  std::mutex block_mutex;
+  std::vector<std::unique_ptr<Block>> blocks;
+
+  void Append(const MonitorEvent& event) {
+    const size_t idx = size.load(std::memory_order_relaxed);
+    if (idx / kBlockSize >= blocks.size()) {
+      std::lock_guard<std::mutex> guard(block_mutex);
+      blocks.emplace_back(new Block());
+    }
+    (*blocks[idx / kBlockSize])[idx % kBlockSize] = event;
+    size.store(idx + 1, std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_monitor_uid{1};
+
+std::atomic<bool> g_monitoring_enabled{[] {
+  const char* env = std::getenv("XFAIR_MONITOR");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}()};
+
+/// The thread's per-monitor buffers, keyed by monitor uid (uids are
+/// never reused, so stale entries for destroyed monitors are inert).
+struct ThreadBufferCache {
+  uint64_t last_uid = 0;
+  FairnessMonitor::EventBuffer* last_buffer = nullptr;
+  std::unordered_map<uint64_t,
+                     std::shared_ptr<FairnessMonitor::EventBuffer>>
+      by_uid;
+};
+
+[[maybe_unused]] ThreadBufferCache& LocalCache() {
+  thread_local ThreadBufferCache cache;
+  return cache;
+}
+
+/// The group/label arrays MonitorPredictionBatch joins against, per
+/// thread (see ScopedStreamContext).
+struct StreamContext {
+  FairnessMonitor* monitor = nullptr;
+  const int* groups = nullptr;
+  const int* labels = nullptr;
+  size_t n = 0;
+};
+
+StreamContext& LocalStreamContext() {
+  thread_local StreamContext ctx;
+  return ctx;
+}
+
+[[maybe_unused]] std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MonitoringEnabled() {
+  return g_monitoring_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMonitoringEnabled(bool enabled) {
+  g_monitoring_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+FairnessMonitor::FairnessMonitor(std::string name, MonitorOptions options)
+    : uid_(g_next_monitor_uid.fetch_add(1, std::memory_order_relaxed)),
+      name_(std::move(name)),
+      options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.detector_stride == 0) options_.detector_stride = 1;
+  if (options_.calibration_bins == 0) options_.calibration_bins = 1;
+  ring_.resize(options_.window);
+  detectors_[0].metric = "demographic_parity";
+  detectors_[1].metric = "equalized_odds";
+  detectors_[2].metric = "calibration";
+}
+
+FairnessMonitor::EventBuffer& FairnessMonitor::LocalBuffer() {
+  ThreadBufferCache& cache = LocalCache();
+  if (cache.last_uid == uid_) return *cache.last_buffer;
+  auto it = cache.by_uid.find(uid_);
+  if (it == cache.by_uid.end()) {
+    auto buffer = std::make_shared<EventBuffer>();
+    {
+      std::lock_guard<std::mutex> guard(buffers_mutex_);
+      buffer->ordinal = static_cast<uint32_t>(buffers_.size());
+      buffers_.push_back(buffer);
+    }
+    it = cache.by_uid.emplace(uid_, std::move(buffer)).first;
+  }
+  cache.last_uid = uid_;
+  cache.last_buffer = it->second.get();
+  return *cache.last_buffer;
+}
+
+void FairnessMonitor::Ingest(const MonitorEvent& event) {
+#ifdef XFAIR_OBS_DISABLED
+  (void)event;
+#else
+  LocalBuffer().Append(event);
+#endif
+}
+
+size_t FairnessMonitor::Drain() {
+#ifdef XFAIR_OBS_DISABLED
+  return 0;
+#else
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> guard(buffers_mutex_);
+    buffers = buffers_;
+  }
+  // (seq, buffer ordinal, in-buffer index) keys the processing order.
+  // Sequence numbers alone define it for well-behaved producers; the
+  // ordinal/index tiebreak only matters for duplicate seqs.
+  struct Keyed {
+    MonitorEvent event;
+    uint32_t ordinal;
+    size_t index;
+  };
+  std::vector<Keyed> drained;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> guard(buf->block_mutex);
+    const size_t n = buf->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      drained.push_back(
+          {(*buf->blocks[i / EventBuffer::kBlockSize])[i %
+                                                       EventBuffer::kBlockSize],
+           buf->ordinal, i});
+    }
+    buf->size.store(0, std::memory_order_release);
+  }
+  std::sort(drained.begin(), drained.end(),
+            [](const Keyed& a, const Keyed& b) {
+              if (a.event.seq != b.event.seq) return a.event.seq < b.event.seq;
+              if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+              return a.index < b.index;
+            });
+  for (const Keyed& k : drained) Process(k.event);
+  return drained.size();
+#endif
+}
+
+void FairnessMonitor::Process(const MonitorEvent& event) {
+  if (event.group < 0 || event.group >= kMaxGroups) {
+    ++events_dropped_;
+    return;
+  }
+  ring_[ring_pos_] = event;
+  ring_pos_ = (ring_pos_ + 1) % options_.window;
+  if (ring_size_ < options_.window) ++ring_size_;
+
+  GroupAggregate& agg = aggregates_[static_cast<size_t>(event.group)];
+  ++agg.events;
+  if (event.prediction == 1) ++agg.predicted_positive;
+  if (event.label >= 0) {
+    ++agg.labeled;
+    if (event.prediction == 1 && event.label == 1) ++agg.tp;
+    if (event.prediction == 1 && event.label == 0) ++agg.fp;
+    if (event.prediction == 0 && event.label == 0) ++agg.tn;
+    if (event.prediction == 0 && event.label == 1) ++agg.fn;
+  }
+  const double d1 = event.score - agg.score_mean;
+  agg.score_mean += d1 / static_cast<double>(agg.events);
+  agg.score_m2 += d1 * (event.score - agg.score_mean);
+
+  ++events_processed_;
+  const uint64_t warmup =
+      options_.warmup == 0 ? options_.window : options_.warmup;
+  if (events_processed_ >= warmup &&
+      events_processed_ % options_.detector_stride == 0) {
+    UpdateDetectors(event.seq);
+  }
+}
+
+void FairnessMonitor::UpdateDetectors(uint64_t seq) {
+  const WindowedMetrics wm = Windowed();
+  const double values[3] = {wm.demographic_parity_diff,
+                            wm.equalized_odds_diff, wm.calibration_gap};
+  for (size_t i = 0; i < detectors_.size(); ++i) {
+    Detector& d = detectors_[i];
+    const double ph =
+        d.page_hinkley.Update(values[i], options_.ph_delta,
+                              options_.ph_lambda);
+    if (ph > 0.0) {
+      alarms_.push_back({d.metric, "page_hinkley", seq, values[i], ph});
+      d.page_hinkley = {};
+    }
+    const double cs =
+        d.cusum.Update(values[i], options_.cusum_k, options_.cusum_h);
+    if (cs > 0.0) {
+      alarms_.push_back({d.metric, "cusum", seq, values[i], cs});
+      d.cusum = {};
+    }
+  }
+}
+
+WindowedMetrics FairnessMonitor::Windowed() const {
+  WindowedMetrics wm;
+#ifdef XFAIR_OBS_DISABLED
+  return wm;
+#else
+  wm.events = ring_size_;
+  if (ring_size_ == 0) return wm;
+  const size_t oldest =
+      ring_size_ == options_.window ? ring_pos_ : 0;
+
+  // Per-group window counts for groups 0/1 (the offline comparison) and
+  // per-group ECE bins, accumulated in seq order so the arithmetic is
+  // bit-identical to fairness/group_metrics on the same rows.
+  uint64_t n[2] = {0, 0}, pred_pos[2] = {0, 0};
+  uint64_t tp[2] = {0, 0}, fp[2] = {0, 0}, tn[2] = {0, 0}, fn[2] = {0, 0};
+  const size_t bins = options_.calibration_bins;
+  std::vector<double> conf_sum(2 * bins, 0.0), label_sum(2 * bins, 0.0);
+  std::vector<uint64_t> bin_count(2 * bins, 0);
+  uint64_t labeled[2] = {0, 0};
+
+  for (size_t i = 0; i < ring_size_; ++i) {
+    const MonitorEvent& e = ring_[(oldest + i) % options_.window];
+    if (i == 0) wm.first_seq = e.seq;
+    wm.last_seq = e.seq;
+    if (e.label >= 0) ++wm.labeled;
+    if (e.group != 0 && e.group != 1) continue;
+    const size_t g = static_cast<size_t>(e.group);
+    ++n[g];
+    if (e.prediction == 1) ++pred_pos[g];
+    if (e.label < 0) continue;
+    ++labeled[g];
+    if (e.prediction == 1 && e.label == 1) ++tp[g];
+    if (e.prediction == 1 && e.label == 0) ++fp[g];
+    if (e.prediction == 0 && e.label == 0) ++tn[g];
+    if (e.prediction == 0 && e.label == 1) ++fn[g];
+    const size_t b = std::min(
+        bins - 1, static_cast<size_t>(e.score * static_cast<double>(bins)));
+    conf_sum[g * bins + b] += e.score;
+    label_sum[g * bins + b] += static_cast<double>(e.label);
+    ++bin_count[g * bins + b];
+  }
+
+  // Single-group sentinels, the PR 3 convention: no between-group
+  // comparison to make, so differences report 0.
+  wm.single_group = n[0] == 0 || n[1] == 0;
+  if (wm.single_group) return wm;
+
+  const auto rate = [](uint64_t num, uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  wm.demographic_parity_diff = rate(pred_pos[0], n[0]) - rate(pred_pos[1], n[1]);
+  const double tpr0 = rate(tp[0], tp[0] + fn[0]);
+  const double tpr1 = rate(tp[1], tp[1] + fn[1]);
+  const double fpr0 = rate(fp[0], fp[0] + tn[0]);
+  const double fpr1 = rate(fp[1], fp[1] + tn[1]);
+  wm.equalized_odds_diff =
+      std::max(std::fabs(tpr0 - tpr1), std::fabs(fpr0 - fpr1));
+
+  // Per-group ECE over the labeled window rows, the offline formula:
+  // sum over bins of (bin weight) * |mean confidence - mean label|.
+  if (labeled[0] > 0 && labeled[1] > 0) {
+    double ece[2] = {0.0, 0.0};
+    for (size_t g = 0; g < 2; ++g) {
+      const double total = static_cast<double>(labeled[g]);
+      for (size_t b = 0; b < bins; ++b) {
+        const uint64_t cnt = bin_count[g * bins + b];
+        if (cnt == 0) continue;
+        const double cb = static_cast<double>(cnt);
+        ece[g] += (cb / total) * std::fabs(conf_sum[g * bins + b] / cb -
+                                           label_sum[g * bins + b] / cb);
+      }
+    }
+    wm.calibration_gap = std::fabs(ece[1] - ece[0]);
+  }
+  return wm;
+#endif
+}
+
+void FairnessMonitor::Reset() {
+  // Discard pending (undrained) events from every thread's buffer.
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> guard(buffers_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> guard(buf->block_mutex);
+    buf->size.store(0, std::memory_order_release);
+  }
+  ring_pos_ = 0;
+  ring_size_ = 0;
+  aggregates_ = {};
+  for (Detector& d : detectors_) {
+    d.page_hinkley = {};
+    d.cusum = {};
+  }
+  alarms_.clear();
+  events_processed_ = 0;
+  events_dropped_ = 0;
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+std::string FairnessMonitor::SnapshotJson() const {
+#ifdef XFAIR_OBS_DISABLED
+  return "{}";
+#else
+  std::string out = "{\n";
+  out += "  \"alarms\": [";
+  for (size_t i = 0; i < alarms_.size(); ++i) {
+    const DriftAlarm& a = alarms_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"detector\": \"" + a.detector + "\", \"metric\": \"" +
+           a.metric + "\", \"seq\": " + std::to_string(a.seq) +
+           ", \"statistic\": " + FormatDouble(a.statistic) +
+           ", \"value\": " + FormatDouble(a.value) + "}";
+  }
+  out += alarms_.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"events_dropped\": " + std::to_string(events_dropped_) + ",\n";
+  out += "  \"events_processed\": " + std::to_string(events_processed_) +
+         ",\n";
+  out += "  \"groups\": {";
+  bool first = true;
+  for (int g = 0; g < kMaxGroups; ++g) {
+    const GroupAggregate& agg = aggregates_[static_cast<size_t>(g)];
+    if (agg.events == 0) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + std::to_string(g) + "\": {";
+    out += "\"events\": " + std::to_string(agg.events);
+    out += ", \"fpr\": " + FormatDouble(agg.fpr());
+    out += ", \"labeled\": " + std::to_string(agg.labeled);
+    out += ", \"positive_rate\": " + FormatDouble(agg.positive_rate());
+    out += ", \"predicted_positive\": " +
+           std::to_string(agg.predicted_positive);
+    out += ", \"score_mean\": " + FormatDouble(agg.score_mean);
+    out += ", \"score_variance\": " + FormatDouble(agg.score_variance());
+    out += ", \"tpr\": " + FormatDouble(agg.tpr());
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  const WindowedMetrics wm = Windowed();
+  out += "  \"window\": {";
+  out += "\"calibration_gap\": " + FormatDouble(wm.calibration_gap);
+  out += ", \"demographic_parity_diff\": " +
+         FormatDouble(wm.demographic_parity_diff);
+  out += ", \"equalized_odds_diff\": " +
+         FormatDouble(wm.equalized_odds_diff);
+  out += ", \"events\": " + std::to_string(wm.events);
+  out += ", \"first_seq\": " + std::to_string(wm.first_seq);
+  out += ", \"labeled\": " + std::to_string(wm.labeled);
+  out += ", \"last_seq\": " + std::to_string(wm.last_seq);
+  out += std::string(", \"single_group\": ") +
+         (wm.single_group ? "true" : "false");
+  out += "}\n}";
+  return out;
+#endif
+}
+
+namespace {
+
+/// Monitor interning registry (counters.cc pattern: heap-allocated,
+/// never freed, references valid for the process lifetime).
+struct MonitorRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<FairnessMonitor>> monitors;
+};
+
+MonitorRegistry& GlobalMonitorRegistry() {
+  static MonitorRegistry* r = new MonitorRegistry();
+  return *r;
+}
+
+}  // namespace
+
+FairnessMonitor& GetMonitor(std::string_view name, MonitorOptions options) {
+  MonitorRegistry& reg = GlobalMonitorRegistry();
+  std::lock_guard<std::mutex> guard(reg.mutex);
+  for (const auto& m : reg.monitors) {
+    if (m->name() == name) return *m;
+  }
+  reg.monitors.emplace_back(
+      new FairnessMonitor(std::string(name), options));
+  return *reg.monitors.back();
+}
+
+std::vector<FairnessMonitor*> RegisteredMonitors() {
+  MonitorRegistry& reg = GlobalMonitorRegistry();
+  std::lock_guard<std::mutex> guard(reg.mutex);
+  std::vector<FairnessMonitor*> out;
+  out.reserve(reg.monitors.size());
+  for (const auto& m : reg.monitors) out.push_back(m.get());
+  std::sort(out.begin(), out.end(),
+            [](const FairnessMonitor* a, const FairnessMonitor* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+ScopedStreamContext::ScopedStreamContext(FairnessMonitor* monitor,
+                                         const int* groups,
+                                         const int* labels, size_t n) {
+  StreamContext& ctx = LocalStreamContext();
+  prev_ = new StreamContext(ctx);
+  ctx.monitor = monitor;
+  ctx.groups = groups;
+  ctx.labels = labels;
+  ctx.n = n;
+}
+
+ScopedStreamContext::~ScopedStreamContext() {
+  StreamContext* prev = static_cast<StreamContext*>(prev_);
+  LocalStreamContext() = *prev;
+  delete prev;
+}
+
+bool MonitorActive(size_t n) {
+#ifdef XFAIR_OBS_DISABLED
+  (void)n;
+  return false;
+#else
+  if (!MonitoringEnabled()) return false;
+  const StreamContext& ctx = LocalStreamContext();
+  return ctx.monitor != nullptr && ctx.groups != nullptr && ctx.n == n &&
+         n > 0;
+#endif
+}
+
+void MonitorPredictionBatch(const double* scores, size_t n,
+                            double threshold) {
+#ifdef XFAIR_OBS_DISABLED
+  (void)scores;
+  (void)n;
+  (void)threshold;
+#else
+  if (!MonitorActive(n)) return;
+  const StreamContext& ctx = LocalStreamContext();
+  const uint64_t base = ctx.monitor->ReserveSeq(n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.monitor->Ingest({base + i, scores[i],
+                         scores[i] >= threshold ? 1 : 0,
+                         ctx.labels == nullptr ? -1 : ctx.labels[i],
+                         ctx.groups[i]});
+  }
+#endif
+}
+
+void MonitorPredictionBatch(const double* scores, const int* predictions,
+                            size_t n) {
+#ifdef XFAIR_OBS_DISABLED
+  (void)scores;
+  (void)predictions;
+  (void)n;
+#else
+  if (!MonitorActive(n)) return;
+  const StreamContext& ctx = LocalStreamContext();
+  const uint64_t base = ctx.monitor->ReserveSeq(n);
+  for (size_t i = 0; i < n; ++i) {
+    ctx.monitor->Ingest({base + i, scores[i], predictions[i],
+                         ctx.labels == nullptr ? -1 : ctx.labels[i],
+                         ctx.groups[i]});
+  }
+#endif
+}
+
+}  // namespace xfair::obs

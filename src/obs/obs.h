@@ -19,12 +19,17 @@
 // Naming scheme (see DESIGN.md §6): "<layer>/<operation>[/<detail>]"
 // with layers {parallel, model, shap, tree_shap, fairness_shap, gopher,
 // cf, kdtree, flat_tree}. Span names must be string literals.
+//
+// The streaming fairness-monitoring hook (XFAIR_MONITOR_PREDICTIONS,
+// DESIGN.md §8) lives in monitor.h and obeys the same two build modes.
 
 #ifndef XFAIR_OBS_OBS_H_
 #define XFAIR_OBS_OBS_H_
 
 #include "src/obs/counters.h"
 #include "src/obs/export.h"
+#include "src/obs/exposition.h"
+#include "src/obs/monitor.h"
 #include "src/obs/trace.h"
 
 #define XFAIR_OBS_CONCAT_INNER(a, b) a##b

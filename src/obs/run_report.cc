@@ -5,6 +5,8 @@
 #include <cstring>
 #include <map>
 
+#include "src/obs/monitor.h"
+
 namespace xfair::obs {
 namespace {
 
@@ -106,6 +108,30 @@ RunReport RunWithReport(const ApproachDescriptor& descriptor,
       report.counter_deltas.push_back({c.name, c.value - prev});
     }
   }
+
+#ifndef XFAIR_OBS_DISABLED
+  // Fairness telemetry: replay the credit fixture through the model's
+  // batched path with a stream context attached, so the monitor hook in
+  // PredictProbaBatch joins scores with groups and labels. A local
+  // monitor sized to the fixture makes the windowed gaps equal the
+  // whole-fixture group metrics; deterministic for a given fixture.
+  {
+    MonitorOptions mopts;
+    mopts.window = ctx.credit.size() == 0 ? 1 : ctx.credit.size();
+    FairnessMonitor monitor("run_report/credit_fixture", mopts);
+    const bool was_monitoring = MonitoringEnabled();
+    SetMonitoringEnabled(true);
+    {
+      ScopedStreamContext stream(&monitor, ctx.credit.groups().data(),
+                                 ctx.credit.labels().data(),
+                                 ctx.credit.size());
+      (void)ctx.credit_model.PredictProbaBatch(ctx.credit.x());
+    }
+    SetMonitoringEnabled(was_monitoring);
+    monitor.Drain();
+    report.fairness_telemetry = monitor.SnapshotJson();
+  }
+#endif
   return report;
 }
 
@@ -120,6 +146,14 @@ std::string RunReport::ToJson() const {
   out += "  \"dataset_fingerprint\": \"" + dataset_fingerprint + "\",\n";
   out += "  \"summary\": \"" + JsonEscape(summary) + "\",\n";
   out += std::string("  \"wall_ms\": ") + wall + ",\n";
+  // Indent the monitor snapshot one level to nest cleanly.
+  std::string telemetry;
+  telemetry.reserve(fairness_telemetry.size());
+  for (char c : fairness_telemetry) {
+    telemetry += c;
+    if (c == '\n') telemetry += "  ";
+  }
+  out += "  \"fairness_telemetry\": " + telemetry + ",\n";
   out += "  \"stages\": " + StagesToJson(stages) + ",\n";
   out += "  \"counter_deltas\": {";
   for (size_t i = 0; i < counter_deltas.size(); ++i) {

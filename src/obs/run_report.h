@@ -34,6 +34,11 @@ struct RunReport {
   std::vector<StageStat> stages;  ///< Span aggregate during the run.
   /// Counters that advanced during the run (name, increment), sorted.
   std::vector<CounterSnapshot> counter_deltas;
+  /// Fairness-telemetry JSON from streaming the credit fixture's
+  /// predictions through a FairnessMonitor after the run (per-group
+  /// aggregates, windowed gaps over a fixture-sized window, alarms).
+  /// "{}" when monitoring is compiled out (XFAIR_OBS=OFF).
+  std::string fairness_telemetry = "{}";
 
   /// Renders the record as a self-contained JSON object.
   std::string ToJson() const;

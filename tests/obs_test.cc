@@ -91,6 +91,56 @@ TEST(Histograms, PowerOfTwoBuckets) {
   EXPECT_EQ(buckets[2], 0u);
 }
 
+TEST(Histograms, QuantilesInterpolateWithinBuckets) {
+  obs::Histogram& h = GetHistogram("obs_test/quantiles");
+  h.Reset();
+  // Empty histogram: sentinel 0.
+  {
+    const auto snaps = obs::SnapshotHistograms();
+    for (const auto& s : snaps) {
+      if (s.name != "obs_test/quantiles") continue;
+      EXPECT_EQ(obs::HistogramQuantile(s, 0.5), 0.0);
+    }
+  }
+  // 100 observations of 1 land in bucket 1, which spans [1, 2): the
+  // median interpolates to the bucket midpoint.
+  for (int i = 0; i < 100; ++i) h.Observe(1);
+  // 100 observations of 12 land in bucket 4, [8, 16).
+  for (int i = 0; i < 100; ++i) h.Observe(12);
+  for (const auto& s : obs::SnapshotHistograms()) {
+    if (s.name != "obs_test/quantiles") continue;
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.25), 1.5);
+    // Rank 100 is the last observation of bucket 1: right bucket edge.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.75), 12.0);
+    // q clamps to [0, 1]; q = 1 is the top occupied bucket's edge.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 1.0), 16.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 2.0), 16.0);
+    EXPECT_GE(obs::HistogramQuantile(s, 0.0), 0.0);
+  }
+  // A zero-valued observation resolves to bucket 0, exactly 0.
+  h.Reset();
+  h.Observe(0);
+  for (const auto& s : obs::SnapshotHistograms()) {
+    if (s.name != "obs_test/quantiles") continue;
+    EXPECT_EQ(obs::HistogramQuantile(s, 0.5), 0.0);
+  }
+}
+
+TEST(Export, CountersToJsonIncludesHistogramQuantiles) {
+  obs::Histogram& h = GetHistogram("obs_test/json_quantiles");
+  h.Reset();
+  for (int i = 0; i < 8; ++i) h.Observe(4);
+  const std::string json = obs::CountersToJson();
+  const size_t at = json.find("\"obs_test/json_quantiles\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string entry = json.substr(at, 200);
+  EXPECT_NE(entry.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(entry.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(entry.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(entry.find("\"count\": 8"), std::string::npos);
+}
+
 TEST(Counters, SnapshotsAreSortedByName) {
   GetCounter("obs_test/zz");
   GetCounter("obs_test/aa");

@@ -571,5 +571,41 @@ TEST(ParallelObs, SpansAndCountersFromWorkerThreadsAllLand) {
   }
 }
 
+TEST(ParallelObs, MonitorIngestionIsThreadCountInvariant) {
+  // FairnessMonitor ingestion uses the same lock-free per-thread buffer
+  // design as the tracer; running this under the TSan stage of
+  // scripts/verify.sh certifies it race-free. Events carry explicit
+  // sequence numbers, so the drained processing order — and with it the
+  // snapshot, including every drift alarm's seq — must be byte-identical
+  // no matter how the pool splits the ingestion loop.
+  ThreadGuard guard;
+  const size_t n = 5000;
+  std::string snapshots[3];
+  size_t variant = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::MonitorOptions mopts;
+    mopts.window = 256;
+    obs::FairnessMonitor monitor("parallel_test/monitor", mopts);
+    ParallelFor(0, n, [&](size_t i) {
+      // A planted parity shift halfway through the sequence, so the
+      // invariance check covers detector state and alarms too.
+      const int group = static_cast<int>(i % 2);
+      const bool biased = i >= n / 2 && group == 1;
+      const double score = biased ? 0.2 : (i % 3 ? 0.8 : 0.3);
+      monitor.Ingest({static_cast<uint64_t>(i), score, score >= 0.5,
+                      static_cast<int>(i % 5 != 0), group});
+    });
+    monitor.Drain();
+    snapshots[variant++] = monitor.SnapshotJson();
+#ifndef XFAIR_OBS_DISABLED
+    EXPECT_EQ(monitor.events_processed(), n);
+    EXPECT_FALSE(monitor.alarms().empty());
+#endif
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+}
+
 }  // namespace
 }  // namespace xfair
