@@ -165,6 +165,47 @@ inline void RecordParallelSpeedup(const std::string& name,
 /// scaling fields, and writes BENCH_<name>.json. `extra_json` is spliced
 /// into the artifact verbatim as additional top-level fields; it must be
 /// empty or a sequence of `  "key": value,\n` lines.
+/// Measures a batch workload's throughput against a looped per-instance
+/// equivalent (both pinned to one worker, best of `repeats`), and returns
+/// the first-class throughput fields as extra_json lines for
+/// RecordAlgoSpeedup / WriteBenchJson:
+///
+///   "<unit>_per_sec"         batch items per second,
+///   "<unit>_per_sec_looped"  looped items per second,
+///   "batch_speedup"          looped_ms / batch_ms,
+///   "batch_ms"               batch wall time (the noise floor gates use),
+///   "batch_items"            items per call.
+///
+/// Restores the pool to its environment default before returning.
+inline std::string MeasureThroughputExtra(const char* unit, size_t items,
+                                          const std::function<void()>& batch,
+                                          const std::function<void()>& looped,
+                                          int repeats = 3) {
+  SetParallelThreads(1);
+  const double batch_ms = bench_json_internal::TimeMs(batch, repeats);
+  const double looped_ms = bench_json_internal::TimeMs(looped, repeats);
+  SetParallelThreads(0);
+  const double n = static_cast<double>(items);
+  const double per_sec = batch_ms > 0.0 ? n * 1000.0 / batch_ms : 0.0;
+  const double per_sec_looped =
+      looped_ms > 0.0 ? n * 1000.0 / looped_ms : 0.0;
+  const double batch_speedup = batch_ms > 0.0 ? looped_ms / batch_ms : 0.0;
+  std::printf("[bench_json] %zu %s: batch %.2f ms (%.0f/s), looped %.2f ms "
+              "(%.0f/s) -> batch %.2fx\n",
+              items, unit, batch_ms, per_sec, looped_ms, per_sec_looped,
+              batch_speedup);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s_per_sec\": %.1f,\n"
+                "  \"%s_per_sec_looped\": %.1f,\n"
+                "  \"batch_speedup\": %.3f,\n"
+                "  \"batch_ms\": %.3f,\n"
+                "  \"batch_items\": %zu,\n",
+                unit, per_sec, unit, per_sec_looped, batch_speedup, batch_ms,
+                items);
+  return buf;
+}
+
 inline void RecordAlgoSpeedup(const std::string& name,
                               const std::function<void()>& baseline,
                               const std::function<void()>& optimized,

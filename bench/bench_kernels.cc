@@ -32,6 +32,7 @@
 #include <cstdio>
 
 #include "bench/bench_json.h"
+#include "src/data/generators.h"
 #include "src/explain/shap.h"
 #include "src/explain/tree_shap.h"
 #include "src/model/knn.h"
@@ -130,6 +131,34 @@ void PrintOnce() {
                 "polynomial cost.\n%s\n",
                 t.ToString().c_str());
 
+    // Batched serving throughput on the credit audit workload: one SHAP
+    // vector per row of an 8192-row slice through a fitted audit forest.
+    // The batch engine and the per-instance loop produce bit-identical
+    // phi (pinned by tests/tree_shap_test.cc), so explanations/sec is
+    // the only axis being measured.
+    std::string throughput_json;
+    {
+      Dataset credit = CreditGen().Generate(8192, 311);
+      RandomForest audit_forest;
+      RandomForestOptions audit_opts;
+      audit_opts.num_trees = 12;
+      audit_opts.max_depth = 5;
+      XFAIR_CHECK(audit_forest.Fit(credit, audit_opts).ok());
+      const Matrix& xs = credit.x();
+      Matrix phi;
+      Vector base;
+      TreeShapBatchInto(audit_forest, xs, &phi, &base);  // Warm cache/arenas.
+      throughput_json = MeasureThroughputExtra(
+          "explanations", xs.rows(),
+          [&] { TreeShapBatchInto(audit_forest, xs, &phi, &base); },
+          [&] {
+            for (size_t i = 0; i < xs.rows(); ++i) {
+              benchmark::DoNotOptimize(
+                  PathDependentTreeShap(audit_forest, credit.instance(i)));
+            }
+          });
+    }
+
     RecordAlgoSpeedup(
         "tree_shap",
         [&] {
@@ -143,7 +172,8 @@ void PrintOnce() {
             benchmark::DoNotOptimize(
                 PathDependentTreeShap(tree, data.instance(i)));
           }
-        });
+        },
+        /*repeats=*/3, throughput_json);
   }
 
   // b. Flat branchless forest inference vs the pointer walk.

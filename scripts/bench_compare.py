@@ -8,12 +8,16 @@ For every BENCH_<name>.json present in both directories, compares
 
   * optimized_ms  — regression when current > baseline * (1 + threshold)
   * algo_speedup  — regression when current < baseline * (1 - threshold)
+  * batch_speedup and every *_per_sec throughput field (e.g.
+    explanations_per_sec) — higher is better, same threshold
 
 and exits nonzero if any comparison regresses by more than the threshold
 (default 15%). Workloads faster than --min-ms (default 1.0 ms) in the
 baseline are reported but never fail the gate: at sub-millisecond scale
-the scheduler owns more of the measurement than the algorithm does.
-Benches present on only one side are reported but do not fail the gate.
+the scheduler owns more of the measurement than the algorithm does. For
+throughput fields the noise floor is the baseline's batch_ms (the wall
+time the rate was derived from). Benches present on only one side are
+reported but do not fail the gate.
 """
 
 import argparse
@@ -67,11 +71,22 @@ def main():
             bad = c_ms > b_ms * (1.0 + frac) and b_ms >= args.min_ms
             rows.append(("optimized_ms", b_ms, c_ms, delta, bad))
 
-        b_sp, c_sp = base.get("algo_speedup"), cur.get("algo_speedup")
-        if b_sp is not None and c_sp is not None and b_sp > 0:
+        # Higher-is-better fields: the algorithmic-speedup ratio, the
+        # batch-vs-looped ratio, and any throughput rate. Throughput
+        # rates inherit the --min-ms noise floor through the batch wall
+        # time they were derived from.
+        batch_ms = base.get("batch_ms")
+        gated = batch_ms is None or batch_ms >= args.min_ms
+        higher_is_better = ["algo_speedup", "batch_speedup"] + sorted(
+            k for k in base if isinstance(k, str) and k.endswith("_per_sec"))
+        for field in higher_is_better:
+            b_sp, c_sp = base.get(field), cur.get(field)
+            if b_sp is None or c_sp is None or b_sp <= 0:
+                continue
             delta = 100.0 * (c_sp / b_sp - 1.0)
-            bad = c_sp < b_sp * (1.0 - frac)
-            rows.append(("algo_speedup", b_sp, c_sp, delta, bad))
+            noisy = field != "algo_speedup" and not gated
+            bad = c_sp < b_sp * (1.0 - frac) and not noisy
+            rows.append((field, b_sp, c_sp, delta, bad))
 
         for field, b, c, delta, bad in rows:
             mark = "REGRESSION" if bad else "ok"

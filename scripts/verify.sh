@@ -3,10 +3,11 @@
 # forced to 4 workers, the parallel runtime under ThreadSanitizer, the
 # full suite under Address+UndefinedBehaviorSanitizer (which arm
 # XFAIR_DCHECK, restoring per-element Matrix bounds checks), a scalar
-# XFAIR_SIMD=OFF build of the kernel layer, and an XFAIR_OBS=0 compile
-# check (spans/counters compiled to no-ops). With --bench, additionally
-# regenerates the BENCH_*.json artifacts via scripts/bench.sh (Release
-# build; slower).
+# XFAIR_SIMD=OFF build of the kernel layer, an XFAIR_OBS=0 compile
+# check (spans/counters compiled to no-ops), and a Release run of the
+# tree_shap throughput bench gated against the committed artifact. With
+# --bench, additionally regenerates all BENCH_*.json artifacts via
+# scripts/bench.sh (Release build; slower).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +46,8 @@ echo "== XFAIR_SIMD=OFF: scalar kernels must pass the same goldens =="
 cmake -B build-nosimd -S . -DXFAIR_SIMD=OFF > /dev/null
 cmake --build build-nosimd -j --target xfair_tests parallel_test
 ./build-nosimd/tests/xfair_tests
-./build-nosimd/tests/parallel_test --gtest_filter='BatchConsistencyTest.*:ParallelModel.*'
+./build-nosimd/tests/parallel_test \
+  --gtest_filter='BatchConsistencyTest.*:ParallelModel.*:ParallelExplain.*:ParallelUnfair.*'
 
 echo
 echo "== XFAIR_OBS=0 compile check (spans/counters/monitors as no-ops) =="
@@ -66,6 +68,23 @@ fi
 echo
 echo "== bench-regression gate smoke (committed artifacts vs themselves) =="
 python3 scripts/bench_compare.py . .
+
+echo
+echo "== tree_shap throughput bench (Release) vs committed artifact =="
+# Runs only the kernel bench, in a scratch dir so the committed
+# BENCH_*.json stay untouched, and gates explanations_per_sec /
+# batch_speedup / algo_speedup against the committed tree_shap artifact
+# through the extended bench_compare.py (higher-is-better fields, 15%
+# threshold, --min-ms noise floor on the batch wall time).
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j --target bench_kernels
+bench_out=build-release/bench-out
+mkdir -p "$bench_out"
+(cd "$bench_out" && ../bench/bench_kernels --benchmark_min_time=0.01)
+baseline_one=build-release/bench-committed
+rm -rf "$baseline_one" && mkdir -p "$baseline_one"
+cp BENCH_tree_shap.json "$baseline_one"/
+python3 scripts/bench_compare.py "$baseline_one" "$bench_out" --min-ms 5
 
 if [[ "$run_bench" == 1 ]]; then
   echo

@@ -168,20 +168,12 @@ Vector SampledShapley(const CoalitionValue& value, size_t d,
   return phi;
 }
 
-Vector ShapExplainInstance(const Model& model, const Dataset& background,
-                           const Vector& x, size_t permutations, Rng* rng) {
-  XFAIR_CHECK(background.size() > 0);
-  XFAIR_CHECK(x.size() == background.num_features());
-  XFAIR_SPAN("shap/explain_instance");
-  // Tree models admit an exact polynomial solution of this very masking
-  // game — route them to interventional TreeSHAP (same semantics, exact
-  // at any dimensionality, no coalition enumeration or sampling).
-  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
-    return InterventionalTreeShap(*tree, background.x(), x).phi;
-  }
-  if (const auto* forest = dynamic_cast<const RandomForest*>(&model)) {
-    return InterventionalTreeShap(*forest, background.x(), x).phi;
-  }
+namespace {
+
+/// The generic masking-game explanation of one instance (the non-tree
+/// path of ShapExplainInstance, shared with the batch entry point).
+Vector GenericMaskingShap(const Model& model, const Dataset& background,
+                          const Vector& x, size_t permutations, Rng* rng) {
   const size_t d = x.size();
   CoalitionValue value = [&](const std::vector<bool>& mask) {
     // One batched prediction per coalition: background rows with the
@@ -202,6 +194,56 @@ Vector ShapExplainInstance(const Model& model, const Dataset& background,
   };
   if (d <= 10) return ExactShapley(value, d);
   return SampledShapley(value, d, permutations, rng);
+}
+
+}  // namespace
+
+Vector ShapExplainInstance(const Model& model, const Dataset& background,
+                           const Vector& x, size_t permutations, Rng* rng) {
+  XFAIR_CHECK(background.size() > 0);
+  XFAIR_CHECK(x.size() == background.num_features());
+  XFAIR_SPAN("shap/explain_instance");
+  // Tree models admit an exact polynomial solution of this very masking
+  // game — route them to interventional TreeSHAP (same semantics, exact
+  // at any dimensionality, no coalition enumeration or sampling).
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    return InterventionalTreeShap(*tree, background.x(), x).phi;
+  }
+  if (const auto* forest = dynamic_cast<const RandomForest*>(&model)) {
+    return InterventionalTreeShap(*forest, background.x(), x).phi;
+  }
+  return GenericMaskingShap(model, background, x, permutations, rng);
+}
+
+Matrix ShapExplainBatch(const Model& model, const Dataset& background,
+                        const Matrix& xs, size_t permutations, Rng* rng) {
+  XFAIR_CHECK(background.size() > 0);
+  XFAIR_CHECK(xs.cols() == background.num_features());
+  XFAIR_SPAN("shap/explain_batch");
+  XFAIR_COUNTER_ADD("shap/batch_instances", xs.rows());
+  if (const auto* tree = dynamic_cast<const DecisionTree*>(&model)) {
+    return InterventionalTreeShapBatch(*tree, background.x(), xs).phi;
+  }
+  if (const auto* forest = dynamic_cast<const RandomForest*>(&model)) {
+    return InterventionalTreeShapBatch(*forest, background.x(), xs).phi;
+  }
+  // Generic path: one engine run per row, each on its own forked stream
+  // so attributions do not depend on thread count or chunk boundaries.
+  // Nested engine parallelism runs inline inside the per-row workers.
+  XFAIR_CHECK(rng != nullptr);
+  const size_t d = xs.cols();
+  Matrix phi(xs.rows(), d);
+  const Rng root = rng->Split();
+  ParallelForChunks(0, xs.rows(), [&](const ChunkRange& chunk) {
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      Rng row_rng = root.Fork(i);
+      const Vector row_phi = GenericMaskingShap(model, background, xs.Row(i),
+                                                permutations, &row_rng);
+      double* out = phi.RowPtr(i);
+      for (size_t c = 0; c < d; ++c) out[c] = row_phi[c];
+    }
+  });
+  return phi;
 }
 
 }  // namespace xfair

@@ -107,6 +107,18 @@ Vector SampledShapley(const CoalitionValue& value, size_t d,
 Vector ShapExplainInstance(const Model& model, const Dataset& background,
                            const Vector& x, size_t permutations, Rng* rng);
 
+/// Batched instance explanation: row i of the result explains row i of
+/// `xs` against the same background. Trees and forests route through the
+/// batched interventional TreeSHAP engine (bit-identical to calling
+/// ShapExplainInstance per row, at any thread count). Other models run
+/// the generic engine once per row in parallel, each row on its own
+/// stream forked from `rng` — deterministic for a fixed thread count and
+/// Rng state, and identical across thread counts, though the sampled
+/// (d > 10) path draws different permutations than a manual per-row
+/// ShapExplainInstance loop would.
+Matrix ShapExplainBatch(const Model& model, const Dataset& background,
+                        const Matrix& xs, size_t permutations, Rng* rng);
+
 }  // namespace xfair
 
 #endif  // XFAIR_EXPLAIN_SHAP_H_

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "src/obs/obs.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -15,6 +19,20 @@ namespace {
 /// size; also keeps the closed-form weights inside double range).
 constexpr size_t kMaxPathFeatures = 64;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Instances per SoA tile in the batch engine. Large enough to amortize
+/// each tree walk's shared path bookkeeping across many instances, small
+/// enough that a tile's columns and accumulators stay cache-resident.
+constexpr size_t kBatchTile = 1024;
+
+/// Leaf-delta memo width cap: tables are 2^m entries, so masks wider than
+/// this fall back to direct per-instance computation.
+constexpr size_t kMemoMaxBits = 12;
+
+/// Node-conversion cache capacity (models, not nodes). Overflow clears
+/// the whole map — simple, and refit churn past 64 live models means the
+/// workload isn't explanation-serving anyway.
+constexpr size_t kNodeCacheCap = 64;
 
 /// Unified view of TreeNode / GbmNode for the walkers below.
 struct ShapNode {
@@ -43,12 +61,6 @@ std::vector<ShapNode> ToShapNodes(const std::vector<GbmNode>& nodes) {
   return out;
 }
 
-int MaxFeature(const std::vector<ShapNode>& nodes) {
-  int mf = -1;
-  for (const ShapNode& n : nodes) mf = std::max(mf, n.feature);
-  return mf;
-}
-
 const double* Factorials() {
   static const std::array<double, kMaxPathFeatures + 1> table = [] {
     std::array<double, kMaxPathFeatures + 1> t{};
@@ -59,6 +71,135 @@ const double* Factorials() {
     return t;
   }();
   return table.data();
+}
+
+/// w_m[j] = j! (m-1-j)! for j < m — the Shapley weight numerators for a
+/// path of m unique features, packed per m (row m at offset m(m-1)/2) so
+/// the per-leaf weight reduction is a plain kernels::Dot against a
+/// contiguous constant table. Requires m >= 1.
+const double* FactWeights(size_t m) {
+  static const std::vector<double>* flat = [] {
+    auto* t =
+        new std::vector<double>(kMaxPathFeatures * (kMaxPathFeatures + 1) / 2);
+    const double* fact = Factorials();
+    for (size_t rows = 1; rows <= kMaxPathFeatures; ++rows) {
+      double* w = t->data() + (rows - 1) * rows / 2;
+      for (size_t j = 0; j < rows; ++j) w[j] = fact[j] * fact[rows - 1 - j];
+    }
+    return t;
+  }();
+  return flat->data() + (m - 1) * m / 2;
+}
+
+// ---------------------------------------------------------------------------
+// Cached node conversion.
+//
+// Every explainer entry point used to rebuild the unified ShapNode arrays
+// from the model's nodes on each call. The conversion (plus per-tree path
+// statistics the arenas are sized from) now runs once per fitted model:
+// the cache key is (model address, fit id), and fit ids are process-unique
+// (NextModelFitId), so neither a refit nor an address reused by a new
+// model object can ever observe a stale entry.
+// ---------------------------------------------------------------------------
+
+/// Immutable per-model data shared by every walker: converted trees plus
+/// the path statistics that size scratch arenas up front.
+struct ShapModel {
+  uint64_t fit_id = 0;
+  std::vector<std::vector<ShapNode>> trees;
+  int max_feature = -1;
+  size_t max_unique_path = 0;  ///< Max distinct features on a root-leaf path.
+  size_t max_path_len = 0;     ///< Max edges on a root-leaf path.
+  size_t max_nodes = 0;        ///< Largest single tree (node count).
+};
+
+using ShapModelPtr = std::shared_ptr<const ShapModel>;
+
+void AnalyzePaths(const std::vector<ShapNode>& nodes, int id,
+                  std::vector<int>* feats, size_t depth, ShapModel* m) {
+  const ShapNode& n = nodes[static_cast<size_t>(id)];
+  if (n.feature < 0) {
+    m->max_unique_path = std::max(m->max_unique_path, feats->size());
+    m->max_path_len = std::max(m->max_path_len, depth);
+    return;
+  }
+  const bool fresh =
+      std::find(feats->begin(), feats->end(), n.feature) == feats->end();
+  if (fresh) feats->push_back(n.feature);
+  AnalyzePaths(nodes, n.left, feats, depth + 1, m);
+  AnalyzePaths(nodes, n.right, feats, depth + 1, m);
+  if (fresh) feats->pop_back();
+}
+
+ShapModel BuildShapModel(std::vector<std::vector<ShapNode>> trees,
+                         uint64_t fit_id) {
+  ShapModel m;
+  m.fit_id = fit_id;
+  m.trees = std::move(trees);
+  std::vector<int> feats;
+  for (const std::vector<ShapNode>& nodes : m.trees) {
+    XFAIR_CHECK(!nodes.empty() && nodes[0].cover > 0.0);
+    for (const ShapNode& n : nodes) m.max_feature = std::max(m.max_feature, n.feature);
+    m.max_nodes = std::max(m.max_nodes, nodes.size());
+    AnalyzePaths(nodes, 0, &feats, 0, &m);
+  }
+  XFAIR_CHECK_MSG(m.max_unique_path <= kMaxPathFeatures,
+                  "tree path too deep for TreeSHAP");
+  return m;
+}
+
+ShapModelPtr CachedShapModel(const void* object, uint64_t fit_id,
+                             const std::function<ShapModel()>& build) {
+  static std::mutex mu;
+  static auto* cache =
+      new std::unordered_map<const void*, ShapModelPtr>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(object);
+    if (it != cache->end() && it->second->fit_id == fit_id) {
+      XFAIR_COUNTER_ADD("tree_shap/node_cache_hits", 1);
+      return it->second;
+    }
+  }
+  // Build outside the lock; concurrent first calls on the same model just
+  // build twice and the last insert wins.
+  auto built = std::make_shared<const ShapModel>(build());
+  XFAIR_COUNTER_ADD("tree_shap/node_cache_builds", 1);
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache->size() >= kNodeCacheCap) {
+    XFAIR_COUNTER_ADD("tree_shap/node_cache_evictions", cache->size());
+    cache->clear();
+  }
+  (*cache)[object] = built;
+  return built;
+}
+
+ShapModelPtr ModelFor(const DecisionTree& tree) {
+  return CachedShapModel(&tree, tree.fit_id(), [&tree] {
+    std::vector<std::vector<ShapNode>> trees;
+    trees.push_back(ToShapNodes(tree.nodes()));
+    return BuildShapModel(std::move(trees), tree.fit_id());
+  });
+}
+
+ShapModelPtr ModelFor(const RandomForest& forest) {
+  return CachedShapModel(&forest, forest.fit_id(), [&forest] {
+    std::vector<std::vector<ShapNode>> trees;
+    trees.reserve(forest.trees().size());
+    for (const DecisionTree& tree : forest.trees()) {
+      trees.push_back(ToShapNodes(tree.nodes()));
+    }
+    return BuildShapModel(std::move(trees), forest.fit_id());
+  });
+}
+
+ShapModelPtr ModelFor(const GradientBoostedTrees& gbm) {
+  return CachedShapModel(&gbm, gbm.fit_id(), [&gbm] {
+    std::vector<std::vector<ShapNode>> trees;
+    trees.reserve(gbm.trees().size());
+    for (const auto& tree : gbm.trees()) trees.push_back(ToShapNodes(tree));
+    return BuildShapModel(std::move(trees), gbm.fit_id());
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -82,10 +223,51 @@ struct PdEntry {
 
 struct PdScratch {
   std::vector<PdEntry> path;
-  std::vector<double> ones;  ///< one_f per path entry, in path order.
-  std::vector<double> c;     ///< Coefficients of prod (zero_f + one_f t).
-  std::vector<double> cw;    ///< Coefficients with one factor removed.
+  std::vector<double> ones;    ///< one_f per path entry, in path order.
+  std::vector<double> c;       ///< Coefficients of prod (zero_f + one_f t).
+  std::vector<double> cw;      ///< Coefficients with one factor removed.
+  std::vector<double> deltas;  ///< Per-entry phi increment of one leaf.
 };
+
+/// Full product polynomial of the path factors, built factor by factor in
+/// place: c[0..m] <- coefficients of prod_i (zero_i + one_i t).
+void PdConv(const PdEntry* path, const double* ones, size_t m, double* c) {
+  std::fill(c, c + m + 1, 0.0);
+  c[0] = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double zero = path[i].zero;
+    const double one = ones[i];
+    for (size_t j = i + 2; j-- > 0;) {
+      c[j] = zero * c[j] + (j > 0 ? one * c[j - 1] : 0.0);
+    }
+  }
+}
+
+/// Per-entry phi increments of one leaf given its convolved polynomial.
+/// This is THE shared leaf arithmetic: the per-instance walker and the
+/// batch engine both call it, so their attributions are bit-identical by
+/// construction. The weight reduction runs through kernels::Dot (pinned
+/// 4-lane order) against the packed factorial table.
+void PdDeltas(double value, const PdEntry* path, const double* ones, size_t m,
+              const double* c, double* cw, const double* fact, double* out) {
+  const double inv_mfact = 1.0 / fact[m];
+  const double* w = FactWeights(m);
+  for (size_t i = 0; i < m; ++i) {
+    const double zero = path[i].zero;
+    const double one = ones[i];
+    // Deconvolve factor i: c[j] = zero * cw[j] + one * cw[j-1].
+    if (one == 0.0) {
+      for (size_t j = 0; j < m; ++j) cw[j] = c[j] / zero;
+    } else {
+      cw[m - 1] = c[m];
+      for (size_t j = m - 1; j-- > 0;) {
+        cw[j] = c[j + 1] - zero * cw[j + 1];
+      }
+    }
+    const double acc = kernels::Dot(cw, w, m);
+    out[i] = value * (one - zero) * acc * inv_mfact;
+  }
+}
 
 void PdLeaf(double value, const double* x, PdScratch* s, Vector* phi,
             double* base, const double* fact) {
@@ -98,40 +280,16 @@ void PdLeaf(double value, const double* x, PdScratch* s, Vector* phi,
     s->ones[i] =
         (e.lo < x[e.feature] && x[e.feature] <= e.hi) ? 1.0 : 0.0;
   }
-
-  // Full product polynomial, built factor by factor in place.
-  std::vector<double>& c = s->c;
-  c.assign(m + 1, 0.0);
-  c[0] = 1.0;
-  for (size_t i = 0; i < m; ++i) {
-    const double zero = path[i].zero;
-    const double one = s->ones[i];
-    for (size_t j = i + 2; j-- > 0;) {
-      c[j] = zero * c[j] + (j > 0 ? one * c[j - 1] : 0.0);
-    }
-  }
-  *base += value * c[0];  // c[0] = prod zero_f = P(leaf | empty coalition).
+  s->c.resize(m + 1);
+  PdConv(path.data(), s->ones.data(), m, s->c.data());
+  *base += value * s->c[0];  // c[0] = prod zero_f = P(leaf | empty coalition).
   if (m == 0) return;
-
-  std::vector<double>& cw = s->cw;
-  cw.assign(m, 0.0);
-  const double inv_mfact = 1.0 / fact[m];
+  s->cw.resize(m);
+  s->deltas.resize(m);
+  PdDeltas(value, path.data(), s->ones.data(), m, s->c.data(), s->cw.data(),
+           fact, s->deltas.data());
   for (size_t i = 0; i < m; ++i) {
-    const double zero = path[i].zero;
-    const double one = s->ones[i];
-    // Deconvolve factor i: c[j] = zero * cw[j] + one * cw[j-1].
-    if (one == 0.0) {
-      for (size_t j = 0; j < m; ++j) cw[j] = c[j] / zero;
-    } else {
-      cw[m - 1] = c[m];
-      for (size_t j = m - 1; j-- > 0;) {
-        cw[j] = c[j + 1] - zero * cw[j + 1];
-      }
-    }
-    double acc = 0.0;
-    for (size_t j = 0; j < m; ++j) acc += cw[j] * fact[j] * fact[m - 1 - j];
-    (*phi)[static_cast<size_t>(path[i].feature)] +=
-        value * (one - zero) * acc * inv_mfact;
+    (*phi)[static_cast<size_t>(path[i].feature)] += s->deltas[i];
   }
 }
 
@@ -192,10 +350,10 @@ struct IvEntry {
 };
 
 /// Walks leaves reachable by some x/z hybrid, accumulating `weight`-scaled
-/// attributions into phi and the empty-coalition value into base.
+/// attributions into phi (d slots) and the empty-coalition value into base.
 void IvWalk(const std::vector<ShapNode>& nodes, int id, const double* x,
             const double* z, std::vector<IvEntry>* path, double weight,
-            Vector* phi, double* base, const double* fact) {
+            double* phi, double* base, const double* fact) {
   const ShapNode& n = nodes[static_cast<size_t>(id)];
   if (n.feature < 0) {
     const size_t m = path->size();
@@ -216,9 +374,9 @@ void IvWalk(const std::vector<ShapNode>& nodes, int id, const double* x,
       const bool a = e.lo < x[e.feature] && x[e.feature] <= e.hi;
       const bool b = e.lo < z[e.feature] && z[e.feature] <= e.hi;
       if (a && !b) {
-        (*phi)[static_cast<size_t>(e.feature)] += weight * n.value * w_pos;
+        phi[static_cast<size_t>(e.feature)] += weight * n.value * w_pos;
       } else if (!a && b) {
-        (*phi)[static_cast<size_t>(e.feature)] -= weight * n.value * w_neg;
+        phi[static_cast<size_t>(e.feature)] -= weight * n.value * w_neg;
       }
     }
     return;
@@ -266,6 +424,429 @@ double ExpValue(const std::vector<ShapNode>& nodes, int id,
          n.cover;
 }
 
+// ---------------------------------------------------------------------------
+// Scratch arenas.
+//
+// Every engine entry point draws its scratch from a thread-local arena
+// that only ever grows, so the steady state (repeated calls of the same
+// shape) allocates nothing: pool workers are long-lived, and so are their
+// arenas. Ensure/Reserve track whether a call had to grow anything; the
+// outermost ArenaCall on a thread reports one arena_reuses or arena_grows
+// tick per engine entry, which is what the zero-alloc steady-state test
+// asserts on.
+// ---------------------------------------------------------------------------
+
+struct ShapArena {
+  // Per-instance walker scratch.
+  PdScratch pd;
+  std::vector<IvEntry> iv_path;
+  std::vector<ShapNode> thresholded;
+  // Batch engine buffers (see PathDependentBatch for layouts).
+  std::vector<double> cols, partial, pair, memo_vals;
+  std::vector<double> miss_ones, miss_c, miss_cw, miss_deltas;
+  std::vector<uint8_t> saved_bits;
+  std::vector<uint64_t> masks, memo_epoch;
+  std::vector<PdEntry> bpath;
+  uint64_t epoch = 0;  ///< Monotonic leaf counter stamping memo entries.
+  int call_depth = 0;
+  bool grew = false;
+
+  /// Grows v to hold at least n elements (never shrinks).
+  template <typename V>
+  void Ensure(V* v, size_t n) {
+    if (v->size() >= n) return;
+    if (v->capacity() < n) grew = true;
+    v->resize(n);
+  }
+
+  /// Capacity-only variant for vectors managed by push/pop.
+  template <typename V>
+  void Reserve(V* v, size_t n) {
+    if (v->capacity() >= n) return;
+    grew = true;
+    v->reserve(n);
+  }
+
+  /// Sizes the per-instance path-dependent scratch for paths of up to
+  /// `max_unique` distinct features.
+  void EnsurePd(size_t max_unique) {
+    Reserve(&pd.path, max_unique + 1);
+    Reserve(&pd.ones, max_unique + 1);
+    Reserve(&pd.c, max_unique + 2);
+    Reserve(&pd.cw, max_unique + 1);
+    Reserve(&pd.deltas, max_unique + 1);
+  }
+};
+
+ShapArena& LocalArena() {
+  static thread_local ShapArena arena;
+  return arena;
+}
+
+/// RAII growth accounting for one engine entry on one thread. Nested
+/// scopes (an engine call fanning out to inline chunk bodies) report once.
+class ArenaCall {
+ public:
+  explicit ArenaCall(ShapArena* arena) : arena_(arena) {
+    if (arena_->call_depth++ == 0) arena_->grew = false;
+  }
+  ~ArenaCall() {
+    if (--arena_->call_depth != 0) return;
+    if (arena_->grew) {
+      XFAIR_COUNTER_ADD("tree_shap/arena_grows", 1);
+    } else {
+      XFAIR_COUNTER_ADD("tree_shap/arena_reuses", 1);
+    }
+  }
+  ArenaCall(const ArenaCall&) = delete;
+  ArenaCall& operator=(const ArenaCall&) = delete;
+
+ private:
+  ShapArena* arena_;
+};
+
+// ---------------------------------------------------------------------------
+// Batched path-dependent engine.
+//
+// One DFS per (tree, instance tile) instead of per (tree, instance). The
+// tile is laid out structure-of-arrays (cols[f * tile + i]), so the split
+// test a node contributes to every instance's coalition indicator is one
+// contiguous compare over the tile. Each instance carries one packed
+// coalition mask whose bit `idx` answers "does this instance pass path
+// entry idx's merged interval?"; the masks are maintained incrementally
+// at descend edges, since the merged-interval test is exactly the AND of
+// the edge conditions along the path.
+//
+// At a leaf, the phi increments are a pure function of (leaf, coalition
+// mask), so they are computed once per distinct mask via PdDeltas — the
+// same routine the per-instance walker calls — and memoized in an
+// epoch-stamped table. Each instance then adds the *same doubles in the
+// same DFS order* as its per-instance walk would, which is the whole
+// bit-identity argument: batching changes how often numbers are computed,
+// never which numbers are added or in which order.
+// ---------------------------------------------------------------------------
+
+struct BatchCtx {
+  const ShapNode* nodes = nullptr;
+  const double* cols = nullptr;  ///< SoA tile: cols[f * tile + i].
+  size_t tile = 0;
+  size_t dim = 0;        ///< d + 1; slot d of each row is the base value.
+  double* acc = nullptr; ///< tile x dim accumulator (one row per instance).
+  double base_acc = 0.0; ///< Scalar base partial (instance-independent).
+  PdEntry* path = nullptr;
+  size_t path_len = 0;
+  uint8_t* saved_bits = nullptr;  ///< [edge depth][instance], stride tile.
+  uint64_t* masks = nullptr;      ///< Packed coalition mask per instance.
+  size_t m_cap = 0;
+  double* memo_vals = nullptr;    ///< [mask][k], stride m_cap.
+  uint64_t* memo_epoch = nullptr;
+  uint64_t* epoch = nullptr;
+  const double* fact = nullptr;
+  double* miss_ones = nullptr;
+  double* miss_c = nullptr;
+  double* miss_cw = nullptr;
+  double* miss_deltas = nullptr;
+  size_t memo_hits = 0, memo_misses = 0;
+};
+
+void PdLeafBatch(BatchCtx* ctx, double value) {
+  const size_t m = ctx->path_len;
+  const size_t tile = ctx->tile;
+  const size_t dim = ctx->dim;
+  // The conv polynomial's constant term is coalition-independent — just
+  // the running product of the zero factors in path order — so the base
+  // contribution is the same scalar for every instance. Every instance's
+  // base partial is therefore the identical DFS-ordered sum of these
+  // scalars; accumulate it once and broadcast after the tree chunk. The
+  // loop repeats PdConv's constant-lane arithmetic exactly
+  // (c[0] = zero * c[0]).
+  double c0 = 1.0;
+  for (size_t i = 0; i < m; ++i) c0 = ctx->path[i].zero * c0;
+  ctx->base_acc += value * c0;
+  if (m == 0) return;
+  if (m <= ctx->m_cap) {
+    const uint64_t epoch = ++*ctx->epoch;
+    for (size_t i = 0; i < tile; ++i) {
+      const uint64_t mask = ctx->masks[i];
+      double* vals = ctx->memo_vals + mask * ctx->m_cap;
+      if (ctx->memo_epoch[mask] != epoch) {
+        ctx->memo_epoch[mask] = epoch;
+        ++ctx->memo_misses;
+        for (size_t k = 0; k < m; ++k) {
+          ctx->miss_ones[k] = ((mask >> k) & 1) != 0 ? 1.0 : 0.0;
+        }
+        PdConv(ctx->path, ctx->miss_ones, m, ctx->miss_c);
+        PdDeltas(value, ctx->path, ctx->miss_ones, m, ctx->miss_c,
+                 ctx->miss_cw, ctx->fact, vals);
+      } else {
+        ++ctx->memo_hits;
+      }
+      double* row = ctx->acc + i * dim;
+      for (size_t k = 0; k < m; ++k) {
+        row[static_cast<size_t>(ctx->path[k].feature)] += vals[k];
+      }
+    }
+  } else {
+    // Path wider than the memo: compute each instance directly from its
+    // mask bits (still the shared PdConv/PdDeltas arithmetic).
+    for (size_t i = 0; i < tile; ++i) {
+      const uint64_t mask = ctx->masks[i];
+      for (size_t k = 0; k < m; ++k) {
+        ctx->miss_ones[k] = ((mask >> k) & 1) != 0 ? 1.0 : 0.0;
+      }
+      PdConv(ctx->path, ctx->miss_ones, m, ctx->miss_c);
+      PdDeltas(value, ctx->path, ctx->miss_ones, m, ctx->miss_c, ctx->miss_cw,
+               ctx->fact, ctx->miss_deltas);
+      double* row = ctx->acc + i * dim;
+      for (size_t k = 0; k < m; ++k) {
+        row[static_cast<size_t>(ctx->path[k].feature)] += ctx->miss_deltas[k];
+      }
+    }
+  }
+}
+
+void PdWalkBatch(BatchCtx* ctx, int id, size_t depth) {
+  const ShapNode& n = ctx->nodes[static_cast<size_t>(id)];
+  if (n.feature < 0) {
+    PdLeafBatch(ctx, n.value);
+    return;
+  }
+  const size_t tile = ctx->tile;
+  const double* xcol = ctx->cols + static_cast<size_t>(n.feature) * tile;
+  const double thr = n.threshold;
+  // Both edges share the same path slot, so the entry search, the saved
+  // state, and the mask bit are hoisted; the left unwind fuses with the
+  // right set into a single tile pass (three passes per node, not four).
+  size_t idx = 0;
+  while (idx < ctx->path_len && ctx->path[idx].feature != n.feature) ++idx;
+  const bool existed = idx < ctx->path_len;
+  if (!existed) ctx->path[ctx->path_len++] = {n.feature, -kInf, kInf, 1.0};
+  const PdEntry saved = ctx->path[idx];
+  const double ratio_l = ctx->nodes[static_cast<size_t>(n.left)].cover / n.cover;
+  const double ratio_r =
+      ctx->nodes[static_cast<size_t>(n.right)].cover / n.cover;
+  const uint64_t bit = uint64_t{1} << idx;
+  uint8_t* save = ctx->saved_bits + depth * tile;
+  // Left edge: x <= thr.
+  {
+    PdEntry& e = ctx->path[idx];
+    e.hi = std::min(saved.hi, thr);
+    e.zero = saved.zero * ratio_l;
+  }
+  if (!existed) {
+    // Fresh entry: the indicator so far is just this edge's condition.
+    for (size_t i = 0; i < tile; ++i) {
+      if (xcol[i] <= thr) ctx->masks[i] |= bit;
+    }
+  } else {
+    // Revisited feature: AND this edge's condition into the running
+    // indicator bit, saving the previous bit for the transitions below.
+    for (size_t i = 0; i < tile; ++i) {
+      const uint64_t mask = ctx->masks[i];
+      save[i] = static_cast<uint8_t>((mask >> idx) & 1);
+      if (!(xcol[i] <= thr)) ctx->masks[i] = mask & ~bit;
+    }
+  }
+  PdWalkBatch(ctx, n.left, depth + 1);
+  // Right edge: x > thr. One pass rewrites the entry's bit from the
+  // pre-descend value (set or saved) AND the right condition.
+  {
+    PdEntry& e = ctx->path[idx];
+    e.lo = std::max(saved.lo, thr);
+    e.hi = saved.hi;
+    e.zero = saved.zero * ratio_r;
+  }
+  if (!existed) {
+    for (size_t i = 0; i < tile; ++i) {
+      ctx->masks[i] =
+          (ctx->masks[i] & ~bit) | (xcol[i] > thr ? bit : uint64_t{0});
+    }
+  } else {
+    for (size_t i = 0; i < tile; ++i) {
+      const uint64_t restored = static_cast<uint64_t>(save[i]) << idx;
+      ctx->masks[i] =
+          (ctx->masks[i] & ~bit) | (xcol[i] > thr ? restored : uint64_t{0});
+    }
+  }
+  PdWalkBatch(ctx, n.right, depth + 1);
+  if (!existed) {
+    for (size_t i = 0; i < tile; ++i) ctx->masks[i] &= ~bit;
+    --ctx->path_len;
+  } else {
+    for (size_t i = 0; i < tile; ++i) {
+      ctx->masks[i] =
+          (ctx->masks[i] & ~bit) | (static_cast<uint64_t>(save[i]) << idx);
+    }
+    ctx->path[idx] = saved;
+  }
+}
+
+/// How batch outputs are finalized from the raw tree-sum, mirroring the
+/// matching per-instance entry point's epilogue exactly.
+enum class BatchMode { kTree, kForestMean, kGbmMargin };
+
+void PathDependentBatch(const ShapModelPtr& model, BatchMode mode,
+                        double scale, double bias, const Matrix& xs,
+                        Matrix* phi, Vector* base) {
+  const size_t n = xs.rows();
+  const size_t d = xs.cols();
+  XFAIR_CHECK(model->max_feature < static_cast<int>(d));
+  XFAIR_CHECK(phi != nullptr && base != nullptr);
+  if (phi->rows() != n || phi->cols() != d) *phi = Matrix(n, d);
+  if (base->size() != n) base->assign(n, 0.0);
+  const size_t dim = d + 1;
+  // Replicate the per-instance tree reduction: same chunks, same pairwise
+  // combine, per instance.
+  const std::vector<ChunkRange> tchunks =
+      DeterministicChunks(0, model->trees.size());
+  const size_t nchunks = tchunks.size();
+  const size_t m_cap = std::min(model->max_unique_path, kMemoMaxBits);
+  // Parallelize over whole tiles, not raw instance ranges: the leaf memo
+  // amortizes one PdConv/PdDeltas per distinct coalition mask across the
+  // tile, so a full-width tile is what makes batching pay. Instance
+  // decomposition cannot affect results — each instance's phi is
+  // independent, and all order-sensitive reductions are within-instance.
+  const size_t ntiles = (n + kBatchTile - 1) / kBatchTile;
+  ParallelForChunks(0, ntiles, [&](const ChunkRange& ichunk) {
+    ShapArena& arena = LocalArena();
+    ArenaCall call(&arena);
+    // Size everything for a full tile regardless of this chunk's length,
+    // so every worker's arena converges to the same steady-state shape.
+    arena.Ensure(&arena.cols, d * kBatchTile);
+    arena.Ensure(&arena.saved_bits, (model->max_path_len + 1) * kBatchTile);
+    arena.Ensure(&arena.masks, kBatchTile);
+    arena.Ensure(&arena.bpath, model->max_unique_path + 1);
+    arena.Ensure(&arena.partial, nchunks * kBatchTile * dim);
+    arena.Ensure(&arena.pair, nchunks);
+    arena.Ensure(&arena.memo_vals,
+                 (uint64_t{1} << m_cap) * std::max<size_t>(m_cap, 1));
+    arena.Ensure(&arena.memo_epoch, uint64_t{1} << m_cap);
+    arena.Ensure(&arena.miss_ones, model->max_unique_path + 1);
+    arena.Ensure(&arena.miss_c, model->max_unique_path + 2);
+    arena.Ensure(&arena.miss_cw, model->max_unique_path + 1);
+    arena.Ensure(&arena.miss_deltas, model->max_unique_path + 1);
+    BatchCtx ctx;
+    ctx.dim = dim;
+    ctx.path = arena.bpath.data();
+    ctx.saved_bits = arena.saved_bits.data();
+    ctx.masks = arena.masks.data();
+    ctx.m_cap = m_cap;
+    ctx.memo_vals = arena.memo_vals.data();
+    ctx.memo_epoch = arena.memo_epoch.data();
+    ctx.epoch = &arena.epoch;
+    ctx.fact = Factorials();
+    ctx.miss_ones = arena.miss_ones.data();
+    ctx.miss_c = arena.miss_c.data();
+    ctx.miss_cw = arena.miss_cw.data();
+    ctx.miss_deltas = arena.miss_deltas.data();
+    for (size_t ti = ichunk.begin; ti < ichunk.end; ++ti) {
+      const size_t at = ti * kBatchTile;
+      const size_t tile = std::min(kBatchTile, n - at);
+      ctx.tile = tile;
+      double* cols = arena.cols.data();
+      for (size_t i = 0; i < tile; ++i) {
+        const double* row = xs.RowPtr(at + i);
+        for (size_t f = 0; f < d; ++f) cols[f * tile + i] = row[f];
+      }
+      ctx.cols = cols;
+      for (size_t k = 0; k < nchunks; ++k) {
+        double* part = arena.partial.data() + k * kBatchTile * dim;
+        std::fill(part, part + tile * dim, 0.0);
+        ctx.acc = part;
+        ctx.base_acc = 0.0;
+        for (size_t t = tchunks[k].begin; t < tchunks[k].end; ++t) {
+          ctx.nodes = model->trees[t].data();
+          ctx.path_len = 0;
+          std::fill(arena.masks.data(), arena.masks.data() + tile,
+                    uint64_t{0});
+          PdWalkBatch(&ctx, 0, 0);
+        }
+        for (size_t i = 0; i < tile; ++i) {
+          part[i * dim + dim - 1] = ctx.base_acc;
+        }
+      }
+      for (size_t i = 0; i < tile; ++i) {
+        double* out_row = phi->RowPtr(at + i);
+        for (size_t c = 0; c < dim; ++c) {
+          for (size_t k = 0; k < nchunks; ++k) {
+            arena.pair[k] = arena.partial[k * kBatchTile * dim + i * dim + c];
+          }
+          const double acc = PairwiseSumInPlace(arena.pair.data(), nchunks);
+          if (c < d) {
+            out_row[c] = mode == BatchMode::kTree ? acc : acc * scale;
+          } else {
+            (*base)[at + i] = mode == BatchMode::kTree ? acc
+                              : mode == BatchMode::kForestMean
+                                  ? acc * scale
+                                  : bias + scale * acc;
+          }
+        }
+      }
+    }
+    XFAIR_COUNTER_ADD("tree_shap/leaf_memo_hits", ctx.memo_hits);
+    XFAIR_COUNTER_ADD("tree_shap/leaf_memo_misses", ctx.memo_misses);
+  });
+}
+
+/// Batched interventional engine: instances fan out over chunks, and each
+/// instance replays the per-instance background-chunk pairwise reduction
+/// exactly (same chunks, same tree order, same combine, same scaling).
+void InterventionalBatch(const ShapModelPtr& model, const Matrix& background,
+                         const Matrix& xs, Matrix* phi, Vector* base) {
+  const size_t n = xs.rows();
+  const size_t d = xs.cols();
+  XFAIR_CHECK(background.rows() > 0);
+  XFAIR_CHECK(background.cols() == d);
+  XFAIR_CHECK(model->max_feature < static_cast<int>(d));
+  XFAIR_CHECK(phi != nullptr && base != nullptr);
+  if (phi->rows() != n || phi->cols() != d) *phi = Matrix(n, d);
+  if (base->size() != n) base->assign(n, 0.0);
+  const std::vector<ChunkRange> bchunks =
+      DeterministicChunks(0, background.rows());
+  const size_t nchunks = bchunks.size();
+  const size_t dim = d + 1;
+  const double inv = 1.0 / (static_cast<double>(background.rows()) *
+                            static_cast<double>(model->trees.size()));
+  const double* fact = Factorials();
+  ParallelForChunks(0, n, [&](const ChunkRange& ichunk) {
+    ShapArena& arena = LocalArena();
+    ArenaCall call(&arena);
+    arena.Reserve(&arena.iv_path, model->max_unique_path + 1);
+    arena.Ensure(&arena.partial, nchunks * dim);
+    arena.Ensure(&arena.pair, nchunks);
+    for (size_t i = ichunk.begin; i < ichunk.end; ++i) {
+      const double* x = xs.RowPtr(i);
+      for (size_t k = 0; k < nchunks; ++k) {
+        double* part = arena.partial.data() + k * dim;
+        std::fill(part, part + dim, 0.0);
+        for (size_t b = bchunks[k].begin; b < bchunks[k].end; ++b) {
+          for (const std::vector<ShapNode>& nodes : model->trees) {
+            IvWalk(nodes, 0, x, background.RowPtr(b), &arena.iv_path, 1.0,
+                   part, &part[d], fact);
+          }
+        }
+      }
+      double* out_row = phi->RowPtr(i);
+      for (size_t c = 0; c < dim; ++c) {
+        for (size_t k = 0; k < nchunks; ++k) {
+          arena.pair[k] = arena.partial[k * dim + c];
+        }
+        const double acc = PairwiseSumInPlace(arena.pair.data(), nchunks);
+        if (c < d) {
+          out_row[c] = acc * inv;
+        } else {
+          (*base)[i] = acc * inv;
+        }
+      }
+    }
+  });
+}
+
+void CountBatch(size_t instances) {
+  XFAIR_COUNTER_ADD("tree_shap/batch_calls", 1);
+  XFAIR_COUNTER_ADD("tree_shap/batch_instances", instances);
+}
+
 }  // namespace
 
 TreeShapExplanation PathDependentTreeShap(const DecisionTree& tree,
@@ -273,12 +854,15 @@ TreeShapExplanation PathDependentTreeShap(const DecisionTree& tree,
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/path_dependent");
   XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
-  const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
-  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
+  const ShapModelPtr model = ModelFor(tree);
+  XFAIR_CHECK(model->max_feature < static_cast<int>(x.size()));
   TreeShapExplanation out;
   out.phi.assign(x.size(), 0.0);
-  PdScratch scratch;
-  PathDependentTree(nodes, x.data(), &scratch, &out.phi, &out.base_value);
+  ShapArena& arena = LocalArena();
+  ArenaCall call(&arena);
+  arena.EnsurePd(model->max_unique_path);
+  PathDependentTree(model->trees[0], x.data(), &arena.pd, &out.phi,
+                    &out.base_value);
   return out;
 }
 
@@ -287,17 +871,19 @@ TreeShapExplanation PathDependentTreeShap(const RandomForest& forest,
   XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/path_dependent");
   XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
-  const std::vector<DecisionTree>& trees = forest.trees();
+  const ShapModelPtr model = ModelFor(forest);
   const size_t d = x.size();
-  const size_t num_trees = trees.size();
+  XFAIR_CHECK(model->max_feature < static_cast<int>(d));
+  const size_t num_trees = model->trees.size();
   // Slot d carries the base value so one reduction covers everything.
   Vector acc = ParallelReduceVector(
       0, num_trees, d + 1, [&](const ChunkRange& chunk, Vector* out) {
-        PdScratch scratch;
+        ShapArena& arena = LocalArena();
+        ArenaCall call(&arena);
+        arena.EnsurePd(model->max_unique_path);
         for (size_t t = chunk.begin; t < chunk.end; ++t) {
-          const std::vector<ShapNode> nodes = ToShapNodes(trees[t].nodes());
-          XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(d));
-          PathDependentTree(nodes, x.data(), &scratch, out, &(*out)[d]);
+          PathDependentTree(model->trees[t], x.data(), &arena.pd, out,
+                            &(*out)[d]);
         }
       });
   const double inv = 1.0 / static_cast<double>(num_trees);
@@ -313,21 +899,75 @@ TreeShapExplanation PathDependentTreeShapMargin(
   XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/path_dependent");
   XFAIR_COUNTER_ADD("tree_shap/path_dependent_calls", 1);
-  const auto& trees = gbm.trees();
+  const ShapModelPtr model = ModelFor(gbm);
   const size_t d = x.size();
+  XFAIR_CHECK(model->max_feature < static_cast<int>(d));
   Vector acc = ParallelReduceVector(
-      0, trees.size(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
-        PdScratch scratch;
+      0, model->trees.size(), d + 1,
+      [&](const ChunkRange& chunk, Vector* out) {
+        ShapArena& arena = LocalArena();
+        ArenaCall call(&arena);
+        arena.EnsurePd(model->max_unique_path);
         for (size_t t = chunk.begin; t < chunk.end; ++t) {
-          const std::vector<ShapNode> nodes = ToShapNodes(trees[t]);
-          XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(d));
-          PathDependentTree(nodes, x.data(), &scratch, out, &(*out)[d]);
+          PathDependentTree(model->trees[t], x.data(), &arena.pd, out,
+                            &(*out)[d]);
         }
       });
   TreeShapExplanation out;
   out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
   for (double& v : out.phi) v *= gbm.learning_rate();
   out.base_value = gbm.bias() + gbm.learning_rate() * acc[d];
+  return out;
+}
+
+void TreeShapBatchInto(const DecisionTree& tree, const Matrix& xs,
+                       Matrix* phi, Vector* base_values) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/batch");
+  CountBatch(xs.rows());
+  PathDependentBatch(ModelFor(tree), BatchMode::kTree, 1.0, 0.0, xs, phi,
+                     base_values);
+}
+
+void TreeShapBatchInto(const RandomForest& forest, const Matrix& xs,
+                       Matrix* phi, Vector* base_values) {
+  XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/batch");
+  CountBatch(xs.rows());
+  const ShapModelPtr model = ModelFor(forest);
+  const double inv = 1.0 / static_cast<double>(model->trees.size());
+  PathDependentBatch(model, BatchMode::kForestMean, inv, 0.0, xs, phi,
+                     base_values);
+}
+
+void TreeShapBatchMarginInto(const GradientBoostedTrees& gbm,
+                             const Matrix& xs, Matrix* phi,
+                             Vector* base_values) {
+  XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/batch");
+  CountBatch(xs.rows());
+  PathDependentBatch(ModelFor(gbm), BatchMode::kGbmMargin,
+                     gbm.learning_rate(), gbm.bias(), xs, phi, base_values);
+}
+
+TreeShapBatchExplanation TreeShapBatch(const DecisionTree& tree,
+                                       const Matrix& xs) {
+  TreeShapBatchExplanation out;
+  TreeShapBatchInto(tree, xs, &out.phi, &out.base_values);
+  return out;
+}
+
+TreeShapBatchExplanation TreeShapBatch(const RandomForest& forest,
+                                       const Matrix& xs) {
+  TreeShapBatchExplanation out;
+  TreeShapBatchInto(forest, xs, &out.phi, &out.base_values);
+  return out;
+}
+
+TreeShapBatchExplanation TreeShapBatchMargin(const GradientBoostedTrees& gbm,
+                                             const Matrix& xs) {
+  TreeShapBatchExplanation out;
+  TreeShapBatchMarginInto(gbm, xs, &out.phi, &out.base_values);
   return out;
 }
 
@@ -340,15 +980,17 @@ TreeShapExplanation InterventionalTreeShap(const DecisionTree& tree,
   XFAIR_SPAN("tree_shap/interventional");
   XFAIR_COUNTER_ADD("tree_shap/interventional_calls", 1);
   XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
-  const std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
-  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(x.size()));
+  const ShapModelPtr model = ModelFor(tree);
+  XFAIR_CHECK(model->max_feature < static_cast<int>(x.size()));
   const size_t d = x.size();
   Vector acc = ParallelReduceVector(
       0, background.rows(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
-        std::vector<IvEntry> path;
+        ShapArena& arena = LocalArena();
+        ArenaCall call(&arena);
+        arena.Reserve(&arena.iv_path, model->max_unique_path + 1);
         for (size_t b = chunk.begin; b < chunk.end; ++b) {
-          IvWalk(nodes, 0, x.data(), background.RowPtr(b), &path, 1.0, out,
-                 &(*out)[d], Factorials());
+          IvWalk(model->trees[0], 0, x.data(), background.RowPtr(b),
+                 &arena.iv_path, 1.0, out->data(), &(*out)[d], Factorials());
         }
       });
   const double inv = 1.0 / static_cast<double>(background.rows());
@@ -369,28 +1011,65 @@ TreeShapExplanation InterventionalTreeShap(const RandomForest& forest,
   XFAIR_COUNTER_ADD("tree_shap/interventional_calls", 1);
   XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
   const size_t d = x.size();
-  std::vector<std::vector<ShapNode>> all;
-  all.reserve(forest.trees().size());
-  for (const DecisionTree& tree : forest.trees()) {
-    all.push_back(ToShapNodes(tree.nodes()));
-    XFAIR_CHECK(MaxFeature(all.back()) < static_cast<int>(d));
-  }
+  const ShapModelPtr model = ModelFor(forest);
+  XFAIR_CHECK(model->max_feature < static_cast<int>(d));
   Vector acc = ParallelReduceVector(
       0, background.rows(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
-        std::vector<IvEntry> path;
+        ShapArena& arena = LocalArena();
+        ArenaCall call(&arena);
+        arena.Reserve(&arena.iv_path, model->max_unique_path + 1);
         for (size_t b = chunk.begin; b < chunk.end; ++b) {
-          for (const std::vector<ShapNode>& nodes : all) {
-            IvWalk(nodes, 0, x.data(), background.RowPtr(b), &path, 1.0, out,
-                   &(*out)[d], Factorials());
+          for (const std::vector<ShapNode>& nodes : model->trees) {
+            IvWalk(nodes, 0, x.data(), background.RowPtr(b), &arena.iv_path,
+                   1.0, out->data(), &(*out)[d], Factorials());
           }
         }
       });
   const double inv = 1.0 / (static_cast<double>(background.rows()) *
-                            static_cast<double>(all.size()));
+                            static_cast<double>(model->trees.size()));
   TreeShapExplanation out;
   out.phi.assign(acc.begin(), acc.begin() + static_cast<long>(d));
   for (double& v : out.phi) v *= inv;
   out.base_value = acc[d] * inv;
+  return out;
+}
+
+void InterventionalTreeShapBatchInto(const DecisionTree& tree,
+                                     const Matrix& background,
+                                     const Matrix& xs, Matrix* phi,
+                                     Vector* base_values) {
+  XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/batch_interventional");
+  CountBatch(xs.rows());
+  XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
+  InterventionalBatch(ModelFor(tree), background, xs, phi, base_values);
+}
+
+void InterventionalTreeShapBatchInto(const RandomForest& forest,
+                                     const Matrix& background,
+                                     const Matrix& xs, Matrix* phi,
+                                     Vector* base_values) {
+  XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
+  XFAIR_SPAN("tree_shap/batch_interventional");
+  CountBatch(xs.rows());
+  XFAIR_COUNTER_ADD("tree_shap/background_rows", background.rows());
+  InterventionalBatch(ModelFor(forest), background, xs, phi, base_values);
+}
+
+TreeShapBatchExplanation InterventionalTreeShapBatch(const DecisionTree& tree,
+                                                     const Matrix& background,
+                                                     const Matrix& xs) {
+  TreeShapBatchExplanation out;
+  InterventionalTreeShapBatchInto(tree, background, xs, &out.phi,
+                                  &out.base_values);
+  return out;
+}
+
+TreeShapBatchExplanation InterventionalTreeShapBatch(
+    const RandomForest& forest, const Matrix& background, const Matrix& xs) {
+  TreeShapBatchExplanation out;
+  InterventionalTreeShapBatchInto(forest, background, xs, &out.phi,
+                                  &out.base_values);
   return out;
 }
 
@@ -404,16 +1083,29 @@ Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
   XFAIR_CHECK(z.size() == xs.cols());
   XFAIR_SPAN("tree_shap/thresholded");
   XFAIR_COUNTER_ADD("tree_shap/thresholded_calls", 1);
-  std::vector<ShapNode> nodes = ToShapNodes(tree.nodes());
-  XFAIR_CHECK(MaxFeature(nodes) < static_cast<int>(z.size()));
-  for (ShapNode& n : nodes) n.value = n.value >= tau ? 1.0 : 0.0;
+  const ShapModelPtr model = ModelFor(tree);
+  XFAIR_CHECK(model->max_feature < static_cast<int>(z.size()));
+  // Threshold into the caller's arena; workers read it, only the caller
+  // sizes it (their own arenas back the per-chunk walk paths).
+  ShapArena& caller_arena = LocalArena();
+  ArenaCall caller_call(&caller_arena);
+  const std::vector<ShapNode>& src = model->trees[0];
+  caller_arena.Ensure(&caller_arena.thresholded, src.size());
+  ShapNode* thresholded = caller_arena.thresholded.data();
+  for (size_t i = 0; i < src.size(); ++i) {
+    thresholded[i] = src[i];
+    thresholded[i].value = src[i].value >= tau ? 1.0 : 0.0;
+  }
   const size_t d = z.size();
   Vector acc = ParallelReduceVector(
       0, rows.size(), d + 1, [&](const ChunkRange& chunk, Vector* out) {
-        std::vector<IvEntry> path;
+        ShapArena& arena = LocalArena();
+        ArenaCall call(&arena);
+        arena.Reserve(&arena.iv_path, model->max_unique_path + 1);
         for (size_t i = chunk.begin; i < chunk.end; ++i) {
-          IvWalk(nodes, 0, xs.RowPtr(rows[i]), z.data(), &path, weights[i],
-                 out, &(*out)[d], Factorials());
+          IvWalk(caller_arena.thresholded, 0, xs.RowPtr(rows[i]), z.data(),
+                 &arena.iv_path, weights[i], out->data(), &(*out)[d],
+                 Factorials());
         }
       });
   acc.resize(d);  // Drop the empty-coalition slot; callers track their own.
@@ -422,38 +1114,33 @@ Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
 
 CoalitionValue PathDependentGame(const DecisionTree& tree, const Vector& x) {
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
-  auto nodes =
-      std::make_shared<const std::vector<ShapNode>>(ToShapNodes(tree.nodes()));
-  return [nodes, x](const std::vector<bool>& mask) {
-    return ExpValue(*nodes, 0, mask, x);
+  const ShapModelPtr model = ModelFor(tree);
+  return [model, x](const std::vector<bool>& mask) {
+    return ExpValue(model->trees[0], 0, mask, x);
   };
 }
 
 CoalitionValue PathDependentGame(const RandomForest& forest, const Vector& x) {
   XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
-  auto all = std::make_shared<std::vector<std::vector<ShapNode>>>();
-  for (const DecisionTree& tree : forest.trees()) {
-    all->push_back(ToShapNodes(tree.nodes()));
-  }
-  return [all, x](const std::vector<bool>& mask) {
+  const ShapModelPtr model = ModelFor(forest);
+  return [model, x](const std::vector<bool>& mask) {
     double acc = 0.0;
-    for (const std::vector<ShapNode>& nodes : *all) {
+    for (const std::vector<ShapNode>& nodes : model->trees) {
       acc += ExpValue(nodes, 0, mask, x);
     }
-    return acc / static_cast<double>(all->size());
+    return acc / static_cast<double>(model->trees.size());
   };
 }
 
 CoalitionValue PathDependentGameMargin(const GradientBoostedTrees& gbm,
                                        const Vector& x) {
   XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
-  auto all = std::make_shared<std::vector<std::vector<ShapNode>>>();
-  for (const auto& tree : gbm.trees()) all->push_back(ToShapNodes(tree));
+  const ShapModelPtr model = ModelFor(gbm);
   const double lr = gbm.learning_rate();
   const double bias = gbm.bias();
-  return [all, x, lr, bias](const std::vector<bool>& mask) {
+  return [model, x, lr, bias](const std::vector<bool>& mask) {
     double acc = bias;
-    for (const std::vector<ShapNode>& nodes : *all) {
+    for (const std::vector<ShapNode>& nodes : model->trees) {
       acc += lr * ExpValue(nodes, 0, mask, x);
     }
     return acc;

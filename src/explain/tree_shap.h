@@ -28,6 +28,19 @@
 // in a fixed pairwise tree, so attributions are bit-identical for every
 // XFAIR_THREADS setting.
 //
+// **Batched engine** (`TreeShapBatch` / `InterventionalTreeShapBatch`):
+// explains a whole Matrix of instances in one call. The batch sweeps every
+// tree once per instance tile with the instances laid out
+// structure-of-arrays (contiguous per-feature columns), memoizes the
+// per-leaf Shapley deltas by coalition mask, parallelizes over instance
+// chunks, and keeps all scratch in reusable per-thread arenas so the
+// steady state allocates nothing. Results are bit-identical (0 ulp) to
+// looping the matching per-instance entry point over the rows, at any
+// thread count and with SIMD on or off — both paths share the same leaf
+// arithmetic and replicate the same chunked pairwise reductions. See
+// DESIGN.md §9 for the layout, the arena contract, and the determinism
+// argument.
+//
 // GBMs are additive in *margin* space only — sigmoid(sum of trees) does
 // not factor — so the GBM entry point explains the margin; probability-
 // space attributions for GBMs stay on the generic engines.
@@ -92,6 +105,54 @@ Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
                                          const std::vector<size_t>& rows,
                                          const Vector& weights,
                                          const Vector& z, double tau);
+
+/// A batch of explanations: row i of `phi` explains instance i.
+struct TreeShapBatchExplanation {
+  Matrix phi;          ///< rows x features attribution matrix.
+  Vector base_values;  ///< One base value per row.
+};
+
+/// Batched path-dependent TreeSHAP: one SHAP vector per row of `xs`,
+/// bit-identical (0 ulp) to calling the per-instance overload on every
+/// row, at any thread count. Instances fan out over DeterministicChunks;
+/// within a chunk the engine walks each tree once per SoA instance tile
+/// and memoizes leaf deltas by coalition mask. The `Into` forms reuse the
+/// caller's buffers (resized only when the shape changes); per-thread
+/// scratch arenas make repeated same-shape calls allocation-free.
+void TreeShapBatchInto(const DecisionTree& tree, const Matrix& xs,
+                       Matrix* phi, Vector* base_values);
+void TreeShapBatchInto(const RandomForest& forest, const Matrix& xs,
+                       Matrix* phi, Vector* base_values);
+/// GBM batch in margin space (see PathDependentTreeShapMargin).
+void TreeShapBatchMarginInto(const GradientBoostedTrees& gbm,
+                             const Matrix& xs, Matrix* phi,
+                             Vector* base_values);
+
+TreeShapBatchExplanation TreeShapBatch(const DecisionTree& tree,
+                                       const Matrix& xs);
+TreeShapBatchExplanation TreeShapBatch(const RandomForest& forest,
+                                       const Matrix& xs);
+TreeShapBatchExplanation TreeShapBatchMargin(const GradientBoostedTrees& gbm,
+                                             const Matrix& xs);
+
+/// Batched interventional TreeSHAP: per row of `xs`, bit-identical to the
+/// per-instance overload with the same `background`. Parallel over
+/// instances (each instance replays the per-instance background-chunk
+/// reduction exactly), with node conversion cached and path scratch
+/// arena-backed.
+void InterventionalTreeShapBatchInto(const DecisionTree& tree,
+                                     const Matrix& background,
+                                     const Matrix& xs, Matrix* phi,
+                                     Vector* base_values);
+void InterventionalTreeShapBatchInto(const RandomForest& forest,
+                                     const Matrix& background,
+                                     const Matrix& xs, Matrix* phi,
+                                     Vector* base_values);
+TreeShapBatchExplanation InterventionalTreeShapBatch(const DecisionTree& tree,
+                                                     const Matrix& background,
+                                                     const Matrix& xs);
+TreeShapBatchExplanation InterventionalTreeShapBatch(
+    const RandomForest& forest, const Matrix& background, const Matrix& xs);
 
 /// The EXPVALUE coalition game (exponential reference for the
 /// path-dependent algorithm): v(S) descends x's branch for features in S

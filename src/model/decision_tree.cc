@@ -39,6 +39,7 @@ Status DecisionTree::Fit(const Dataset& data,
   Build(data, weights, indices, 0, options, &rng);
   flat_ = FlatTree::FromNodes(nodes_,
                               [](const TreeNode& n) { return n.proba; });
+  fit_id_ = NextModelFitId();
   return Status::OK();
 }
 

@@ -45,6 +45,9 @@ class DecisionTree final : public Model {
   std::string name() const override { return "tree"; }
 
   bool fitted() const { return !nodes_.empty(); }
+  /// Process-unique id of the last successful Fit (0 = never fitted).
+  /// Lets explainer caches detect refits; see NextModelFitId.
+  uint64_t fit_id() const { return fit_id_; }
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   /// Branchless structure-of-arrays copy of the fitted tree, rebuilt at
   /// the end of Fit. All batched prediction routes through it.
@@ -63,6 +66,7 @@ class DecisionTree final : public Model {
 
   std::vector<TreeNode> nodes_;
   FlatTree flat_;
+  uint64_t fit_id_ = 0;
 };
 
 }  // namespace xfair

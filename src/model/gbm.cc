@@ -151,6 +151,7 @@ Status GradientBoostedTrees::Fit(const Dataset& data,
         FlatTree::FromNodes(tree, [](const GbmNode& n) { return n.value; }));
   }
   fitted_ = true;
+  fit_id_ = NextModelFitId();
   return Status::OK();
 }
 

@@ -42,6 +42,8 @@ class GradientBoostedTrees final : public Model {
   std::string name() const override { return "gbm"; }
 
   bool fitted() const { return fitted_; }
+  /// Process-unique id of the last successful Fit (0 = never fitted).
+  uint64_t fit_id() const { return fit_id_; }
   size_t num_trees() const { return trees_.size(); }
   /// The fitted regression trees (margin-space; for TreeSHAP).
   const std::vector<std::vector<GbmNode>>& trees() const { return trees_; }
@@ -53,6 +55,7 @@ class GradientBoostedTrees final : public Model {
   double MarginRow(const double* row) const;
 
   bool fitted_ = false;
+  uint64_t fit_id_ = 0;
   double bias_ = 0.0;
   double learning_rate_ = 0.2;
   std::vector<std::vector<GbmNode>> trees_;

@@ -1,9 +1,17 @@
 #include "src/model/model.h"
 
+#include <atomic>
+
 #include "src/obs/obs.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
+
+uint64_t NextModelFitId() {
+  // Starts at 1 so 0 always reads "never fitted" to cache lookups.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Vector Model::PredictProbaBatch(const Matrix& x) const {
   Vector out(x.rows());

@@ -16,6 +16,13 @@
 
 namespace xfair {
 
+/// Process-unique id stamped onto a model by each successful Fit.
+/// Explainer-side caches (e.g. the TreeSHAP node-conversion cache in
+/// src/explain/tree_shap.cc) key on (model address, fit id): the id
+/// changes on refit and is never reused, so a stale entry can't survive
+/// either a refit or an address reused by a new model object.
+uint64_t NextModelFitId();
+
 /// Black-box tier: a trained binary classifier exposing only scores.
 class Model {
  public:

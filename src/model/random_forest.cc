@@ -45,6 +45,7 @@ Status RandomForest::Fit(const Dataset& data,
   trees_ = std::move(trees);
   flat_.Clear();
   for (const DecisionTree& tree : trees_) flat_.Add(tree.flat());
+  fit_id_ = NextModelFitId();
   return Status::OK();
 }
 

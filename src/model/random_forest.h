@@ -31,10 +31,13 @@ class RandomForest final : public Model {
   std::string name() const override { return "forest"; }
 
   bool fitted() const { return !trees_.empty(); }
+  /// Process-unique id of the last successful Fit (0 = never fitted).
+  uint64_t fit_id() const { return fit_id_; }
   const std::vector<DecisionTree>& trees() const { return trees_; }
 
  private:
   std::vector<DecisionTree> trees_;
+  uint64_t fit_id_ = 0;
   /// Concatenated branchless copies of all trees, rebuilt at the end of
   /// Fit; PredictProbaBatch traverses these instead of the node arrays.
   FlatForest flat_;

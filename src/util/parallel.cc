@@ -209,9 +209,13 @@ void ParallelFor(size_t begin, size_t end,
 }
 
 double PairwiseSum(std::vector<double> v) {
-  if (v.empty()) return 0.0;
-  for (size_t width = 1; width < v.size(); width *= 2) {
-    for (size_t i = 0; i + width < v.size(); i += 2 * width) {
+  return PairwiseSumInPlace(v.data(), v.size());
+}
+
+double PairwiseSumInPlace(double* v, size_t n) {
+  if (n == 0) return 0.0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t i = 0; i + width < n; i += 2 * width) {
       v[i] += v[i + width];
     }
   }

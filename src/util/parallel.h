@@ -78,6 +78,12 @@ void ParallelForChunks(size_t begin, size_t end,
 /// given v regardless of threads; used to combine per-chunk partials.
 double PairwiseSum(std::vector<double> v);
 
+/// The same fixed pairwise tree over v[0..n), destroying the buffer in
+/// place (no allocation). Bit-identical to PairwiseSum on the same
+/// values — the allocation-free form batch engines use to replicate a
+/// ParallelReduceVector combine inside reusable scratch arenas.
+double PairwiseSumInPlace(double* v, size_t n);
+
 /// Sum of term(i) over [begin, end): per-chunk serial accumulation plus a
 /// pairwise tree over the chunk partials. Bit-identical for every thread
 /// count (the serial path runs the same chunked algorithm).

@@ -297,6 +297,104 @@ TEST(ParallelExplain, TreeShapIsThreadCountInvariant) {
       });
 }
 
+/// Flattens a batch explanation so the invariance harness can compare it
+/// with one EXPECT_EQ per scalar.
+Vector FlattenBatch(const TreeShapBatchExplanation& e) {
+  Vector out;
+  out.reserve(e.phi.rows() * e.phi.cols() + e.base_values.size());
+  for (size_t i = 0; i < e.phi.rows(); ++i)
+    for (size_t c = 0; c < e.phi.cols(); ++c) out.push_back(e.phi.At(i, c));
+  out.insert(out.end(), e.base_values.begin(), e.base_values.end());
+  return out;
+}
+
+TEST(ParallelExplain, TreeShapBatchIsThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(350, 511);
+  RandomForest forest;
+  RandomForestOptions fopts;
+  fopts.num_trees = 10;
+  ASSERT_TRUE(forest.Fit(data, fopts).ok());
+  GradientBoostedTrees gbm;
+  GbmOptions gopts;
+  gopts.num_rounds = 15;
+  ASSERT_TRUE(gbm.Fit(data, gopts).ok());
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < 25; ++i) keep.push_back(i);
+  const Matrix background = data.Subset(keep).x();
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        Vector out = FlattenBatch(TreeShapBatch(forest, data.x()));
+        const Vector margin =
+            FlattenBatch(TreeShapBatchMargin(gbm, data.x()));
+        const Vector iv = FlattenBatch(
+            InterventionalTreeShapBatch(forest, background, data.x()));
+        out.insert(out.end(), margin.begin(), margin.end());
+        out.insert(out.end(), iv.begin(), iv.end());
+        return out;
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(ParallelExplain, ShapExplainBatchIsThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(120, 512);
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 6;
+  ASSERT_TRUE(forest.Fit(data, opts).ok());
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(data).ok());
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < 15; ++i) keep.push_back(2 * i);
+  const Dataset background = data.Subset(keep);
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        // Tree route (batched interventional engine) and generic route
+        // (per-row masking games on forked streams) in one pass.
+        Rng rng(513);
+        const Matrix trees =
+            ShapExplainBatch(forest, background, data.x(), 40, &rng);
+        const Matrix generic =
+            ShapExplainBatch(lr, background, data.x(), 40, &rng);
+        Vector out;
+        for (size_t i = 0; i < trees.rows(); ++i)
+          for (size_t c = 0; c < trees.cols(); ++c)
+            out.push_back(trees.At(i, c));
+        for (size_t i = 0; i < generic.rows(); ++i)
+          for (size_t c = 0; c < generic.cols(); ++c)
+            out.push_back(generic.At(i, c));
+        return out;
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
+TEST(ParallelUnfair, FairnessShapDeepTreeFastPathIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 514);
+  DecisionTree tree;
+  DecisionTreeOptions topts;
+  topts.max_depth = 9;
+  topts.min_samples_leaf = 2;
+  ASSERT_TRUE(tree.Fit(data, topts).ok());
+  FairnessShapOptions opts;  // kMask + tree fast path by default.
+  ExpectSameAcrossThreadCounts<FairnessShapReport>(
+      [&] { return ExplainParityWithShapley(tree, data, opts); },
+      [](const FairnessShapReport& a, const FairnessShapReport& b) {
+        ASSERT_EQ(a.contributions.size(), b.contributions.size());
+        for (size_t i = 0; i < a.contributions.size(); ++i)
+          EXPECT_EQ(a.contributions[i], b.contributions[i]);
+        EXPECT_EQ(a.ranked_features, b.ranked_features);
+        EXPECT_EQ(a.baseline_gap, b.baseline_gap);
+        EXPECT_EQ(a.full_gap, b.full_gap);
+      });
+}
+
 TEST(ParallelModel, KnnNeighborsAndBatchAreThreadCountInvariant) {
   Dataset data = CreditGen().Generate(300, 510);
   Dataset probe = CreditGen().Generate(60, 511);

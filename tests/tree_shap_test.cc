@@ -14,9 +14,11 @@
 #include "src/explain/counterfactual.h"
 #include "src/model/knn.h"
 #include "src/model/logistic_regression.h"
+#include "src/obs/obs.h"
 #include "src/unfair/fairness_shap.h"
 #include "src/unfair/gopher.h"
 #include "src/util/kdtree.h"
+#include "src/util/parallel.h"
 
 namespace xfair {
 namespace {
@@ -195,6 +197,143 @@ TEST_F(TreeShapTest, FairnessShapTreeFastPathMatchesGenericEngine) {
   EXPECT_NEAR(Total(fast.contributions), fast.full_gap - fast.baseline_gap,
               kTol);
 }
+
+// --- Batched engine ---------------------------------------------------
+//
+// The batch entry points promise bit-identity with the per-instance
+// walkers, not closeness: every comparison below is EXPECT_EQ (0 ulp).
+
+/// Reads one obs counter by name (0 if it never ticked).
+uint64_t CounterValue(const std::string& name) {
+  for (const auto& c : obs::SnapshotCounters()) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+TEST_F(TreeShapTest, BatchMatchesPerInstanceBitForBitOnTree) {
+  // 1300 rows so the batch spans a full 1024-instance tile plus a ragged
+  // tail tile.
+  const Dataset wide = CreditGen().Generate(1300, 72);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(wide).ok());
+  const TreeShapBatchExplanation batch = TreeShapBatch(tree, wide.x());
+  ASSERT_EQ(batch.phi.rows(), wide.size());
+  ASSERT_EQ(batch.phi.cols(), wide.num_features());
+  for (size_t i = 0; i < wide.size(); ++i) {
+    const TreeShapExplanation one =
+        PathDependentTreeShap(tree, wide.instance(i));
+    EXPECT_EQ(batch.base_values[i], one.base_value) << "row " << i;
+    for (size_t c = 0; c < wide.num_features(); ++c)
+      EXPECT_EQ(batch.phi.At(i, c), one.phi[c]) << "row " << i << " f " << c;
+  }
+  // Warm arenas and caches must not change a single bit.
+  const TreeShapBatchExplanation again = TreeShapBatch(tree, wide.x());
+  for (size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(again.base_values[i], batch.base_values[i]);
+    for (size_t c = 0; c < wide.num_features(); ++c)
+      EXPECT_EQ(again.phi.At(i, c), batch.phi.At(i, c));
+  }
+}
+
+TEST_F(TreeShapTest, BatchMatchesPerInstanceBitForBitOnForest) {
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 11;
+  ASSERT_TRUE(forest.Fit(data_, opts).ok());
+  const TreeShapBatchExplanation batch = TreeShapBatch(forest, data_.x());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const TreeShapExplanation one =
+        PathDependentTreeShap(forest, data_.instance(i));
+    EXPECT_EQ(batch.base_values[i], one.base_value) << "row " << i;
+    for (size_t c = 0; c < data_.num_features(); ++c)
+      EXPECT_EQ(batch.phi.At(i, c), one.phi[c]) << "row " << i << " f " << c;
+  }
+}
+
+TEST_F(TreeShapTest, BatchMarginMatchesPerInstanceBitForBitOnGbm) {
+  GradientBoostedTrees gbm;
+  GbmOptions opts;
+  opts.num_rounds = 20;
+  ASSERT_TRUE(gbm.Fit(data_, opts).ok());
+  const TreeShapBatchExplanation batch = TreeShapBatchMargin(gbm, data_.x());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const TreeShapExplanation one =
+        PathDependentTreeShapMargin(gbm, data_.instance(i));
+    EXPECT_EQ(batch.base_values[i], one.base_value) << "row " << i;
+    for (size_t c = 0; c < data_.num_features(); ++c)
+      EXPECT_EQ(batch.phi.At(i, c), one.phi[c]) << "row " << i << " f " << c;
+  }
+}
+
+TEST_F(TreeShapTest, InterventionalBatchMatchesPerInstanceBitForBit) {
+  DecisionTree tree;
+  RandomForest forest;
+  RandomForestOptions fopts;
+  fopts.num_trees = 7;
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  ASSERT_TRUE(forest.Fit(data_, fopts).ok());
+  Matrix background(40, data_.num_features());
+  for (size_t b = 0; b < background.rows(); ++b)
+    for (size_t c = 0; c < background.cols(); ++c)
+      background.At(b, c) = data_.x().At(2 * b, c);
+  Matrix xs(120, data_.num_features());
+  for (size_t i = 0; i < xs.rows(); ++i) xs.SetRow(i, data_.instance(i));
+  const TreeShapBatchExplanation tb =
+      InterventionalTreeShapBatch(tree, background, xs);
+  const TreeShapBatchExplanation fb =
+      InterventionalTreeShapBatch(forest, background, xs);
+  for (size_t i = 0; i < xs.rows(); ++i) {
+    const TreeShapExplanation t1 =
+        InterventionalTreeShap(tree, background, xs.Row(i));
+    const TreeShapExplanation f1 =
+        InterventionalTreeShap(forest, background, xs.Row(i));
+    EXPECT_EQ(tb.base_values[i], t1.base_value);
+    EXPECT_EQ(fb.base_values[i], f1.base_value);
+    for (size_t c = 0; c < xs.cols(); ++c) {
+      EXPECT_EQ(tb.phi.At(i, c), t1.phi[c]) << "row " << i << " f " << c;
+      EXPECT_EQ(fb.phi.At(i, c), f1.phi[c]) << "row " << i << " f " << c;
+    }
+  }
+}
+
+#ifndef XFAIR_OBS_DISABLED
+TEST_F(TreeShapTest, BatchSteadyStateGrowsNoArenas) {
+  SetParallelThreads(1);  // One worker arena, deterministic accounting.
+  RandomForest forest;
+  RandomForestOptions opts;
+  opts.num_trees = 9;
+  ASSERT_TRUE(forest.Fit(data_, opts).ok());
+  Matrix phi;
+  Vector base;
+  // Two warmup calls: the first sizes the arena, the second proves the
+  // shape converged.
+  TreeShapBatchInto(forest, data_.x(), &phi, &base);
+  TreeShapBatchInto(forest, data_.x(), &phi, &base);
+  const uint64_t grows = CounterValue("tree_shap/arena_grows");
+  const uint64_t reuses = CounterValue("tree_shap/arena_reuses");
+  TreeShapBatchInto(forest, data_.x(), &phi, &base);
+  EXPECT_EQ(CounterValue("tree_shap/arena_grows") - grows, 0u)
+      << "steady-state batch call grew an arena";
+  EXPECT_GE(CounterValue("tree_shap/arena_reuses") - reuses, 1u);
+  SetParallelThreads(0);
+}
+
+TEST_F(TreeShapTest, NodeCacheBuildsOncePerFit) {
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  const uint64_t builds = CounterValue("tree_shap/node_cache_builds");
+  for (int r = 0; r < 3; ++r) {
+    (void)PathDependentTreeShap(tree, data_.instance(0));
+  }
+  EXPECT_EQ(CounterValue("tree_shap/node_cache_builds") - builds, 1u)
+      << "same fitted model should convert to ShapNodes exactly once";
+  // Refitting invalidates the cached conversion.
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  (void)PathDependentTreeShap(tree, data_.instance(0));
+  EXPECT_EQ(CounterValue("tree_shap/node_cache_builds") - builds, 2u);
+}
+#endif  // XFAIR_OBS_DISABLED
 
 // --- KD-tree ----------------------------------------------------------
 
