@@ -17,6 +17,7 @@
 #include "src/causal/worlds.h"
 #include "src/data/generators.h"
 #include "src/explain/shap.h"
+#include "src/explain/tree_shap.h"
 #include "src/model/decision_tree.h"
 #include "src/model/logistic_regression.h"
 #include "src/unfair/causal_path.h"
@@ -118,7 +119,9 @@ void PrintOnce() {
   }
 
   // Generic coalition enumeration vs the interventional-TreeSHAP fast
-  // path on a tree model (same game, same attributions), written to
+  // path on a tree model (same game, same attributions), plus the
+  // slice-scale audit throughput of the batched thresholded sweep
+  // (DESIGN §10) vs its looped per-row reference, all written to
   // BENCH_fairness_shap.json.
   {
     BiasConfig cfg;
@@ -129,6 +132,47 @@ void PrintOnce() {
     FairnessShapOptions generic;
     generic.use_tree_fast_path = false;
     FairnessShapOptions fast;  // Tree fast path on by default.
+
+    // Audit throughput: the batched thresholded sweep vs its looped
+    // per-row reference on the credit audit slice — the engine inner
+    // loop FairnessShapBatch dispatches on. The game is exactly the
+    // slice's parity-gap decomposition: column-mean background and
+    // +-1/count[g] per-row weights. The engine-independent endpoint-gap
+    // evaluations are excluded so the field tracks the sweep itself;
+    // both engines are bit-identical by construction.
+    constexpr size_t kAuditRows = 8192;
+    Dataset audit = CreditGen(cfg).Generate(kAuditRows, 119);
+    DecisionTree audit_model;
+    XFAIR_CHECK(audit_model.Fit(audit).ok());
+    const size_t ad = audit.num_features();
+    std::vector<size_t> slice(audit.size());
+    for (size_t i = 0; i < slice.size(); ++i) slice[i] = i;
+    Vector background(ad, 0.0);
+    for (size_t i = 0; i < audit.size(); ++i)
+      for (size_t c = 0; c < ad; ++c) background[c] += audit.x().At(i, c);
+    for (size_t c = 0; c < ad; ++c)
+      background[c] /= static_cast<double>(audit.size());
+    size_t count[2] = {0, 0};
+    for (size_t i = 0; i < audit.size(); ++i) ++count[audit.group(i)];
+    Vector weights(audit.size());
+    for (size_t i = 0; i < audit.size(); ++i) {
+      weights[i] = audit.group(i) == 0
+                       ? 1.0 / static_cast<double>(count[0])
+                       : -1.0 / static_cast<double>(count[1]);
+    }
+    const double tau = audit_model.threshold();
+    const std::string extra = MeasureThroughputExtra(
+        "audit_rows", kAuditRows,
+        [&] {
+          benchmark::DoNotOptimize(InterventionalTreeShapThresholded(
+              audit_model, audit.x(), slice, weights, background, tau));
+        },
+        [&] {
+          benchmark::DoNotOptimize(InterventionalTreeShapThresholdedLooped(
+              audit_model, audit.x(), slice, weights, background, tau));
+        },
+        /*repeats=*/7);
+
     RecordAlgoSpeedup(
         "fairness_shap",
         [&] {
@@ -138,7 +182,8 @@ void PrintOnce() {
         [&] {
           benchmark::DoNotOptimize(
               ExplainParityWithShapley(model, data, fast));
-        });
+        },
+        /*repeats=*/3, extra);
   }
 }
 

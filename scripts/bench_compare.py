@@ -9,7 +9,8 @@ For every BENCH_<name>.json present in both directories, compares
   * optimized_ms  — regression when current > baseline * (1 + threshold)
   * algo_speedup  — regression when current < baseline * (1 - threshold)
   * batch_speedup and every *_per_sec throughput field (e.g.
-    explanations_per_sec) — higher is better, same threshold
+    explanations_per_sec, audit_rows_per_sec) — higher is better, same
+    threshold
 
 and exits nonzero if any comparison regresses by more than the threshold
 (default 15%). Workloads faster than --min-ms (default 1.0 ms) in the

@@ -252,8 +252,11 @@ std::vector<ApproachDescriptor> BuildRegistry() {
        "Shapley", "Shapley based visualization", FairnessLevel::kGroup,
        "Base-Rates", FairnessTask::kClassification,
        Goals{false, true, true}, [](const RunContext& ctx) {
-         auto r = ExplainParityWithShapley(ctx.credit_model, ctx.credit,
-                                           {});
+         // Whole-dataset audit through the slice entry point (identical to
+         // ExplainParityWithShapley on the full data, one batched sweep).
+         std::vector<size_t> all(ctx.credit.size());
+         for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+         auto r = FairnessShapBatch(ctx.credit_model, ctx.credit, all, {});
          if (r.ranked_features.empty()) return std::string("n/a");
          const size_t top = r.ranked_features[0];
          return "top contributor '" + r.feature_names[top] + "' phi=" +
@@ -489,6 +492,36 @@ std::vector<ApproachDescriptor> BuildRegistry() {
          }
          return std::to_string(n) + " SHAP rows, top feature " +
                 std::to_string(top) + " mean|phi|=" + F(top_mean);
+       }});
+
+  // Slice-scale fairness audit (ExplainBench-style): decompose the parity
+  // gap of two dataset slices in one FairnessShapBatch call each, through
+  // the batched thresholded sweep.
+  reg.push_back(
+      {"[audit]", "fairness-SHAP audit slices", false,
+       ExplanationStage::kPostHoc, ModelAccess::kWhiteBox,
+       Agnosticism::kSpecific, Coverage::kGlobal, "Shapley",
+       "Per-slice parity decomposition", FairnessLevel::kGroup,
+       "Base-Rates", FairnessTask::kClassification,
+       Goals{false, true, false}, [](const RunContext& ctx) {
+         DecisionTree tree;
+         XFAIR_CHECK(tree.Fit(ctx.credit).ok());
+         // Two halves of the credit data stand in for tenant slices.
+         const size_t n = ctx.credit.size();
+         std::vector<size_t> first, second;
+         for (size_t i = 0; i < n; ++i) {
+           (i < n / 2 ? first : second).push_back(i);
+         }
+         std::string out;
+         for (const auto* slice : {&first, &second}) {
+           const auto r = FairnessShapBatch(tree, ctx.credit, *slice, {});
+           if (r.ranked_features.empty()) return std::string("n/a");
+           const size_t top = r.ranked_features[0];
+           if (!out.empty()) out += "; ";
+           out += std::to_string(slice->size()) + " rows top '" +
+                  r.feature_names[top] + "' gap=" + F(r.full_gap);
+         }
+         return out;
        }});
 
   return reg;

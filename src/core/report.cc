@@ -43,11 +43,15 @@ std::string WriteAuditReport(const Model& model, const Dataset& data,
            std::to_string(burden.failures) + " searches failed).\n\n";
   }
 
-  // Feature attribution of the gap.
+  // Feature attribution of the gap, decomposed slice-scale in one
+  // FairnessShapBatch call (identical to ExplainParityWithShapley over
+  // the whole dataset, routed through the batched audit path).
   {
     FairnessShapOptions shap_opts;
     shap_opts.seed = options.seed;
-    const auto shap = ExplainParityWithShapley(model, data, shap_opts);
+    std::vector<size_t> all(data.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    const auto shap = FairnessShapBatch(model, data, all, shap_opts);
     out += "## Parity-gap contributors (fairness Shapley [81])\n\n";
     AsciiTable t({"feature", "contribution"});
     const size_t k =

@@ -100,11 +100,26 @@ TreeShapExplanation InterventionalTreeShap(const RandomForest& forest,
 /// the {0,1}-thresholded tree. Returns the attribution vector (the game's
 /// empty-coalition value is weights-weighted [tree(z) >= tau], which the
 /// caller already tracks as its baseline gap).
+///
+/// Runs as one SoA tile sweep per thresholded tree (DESIGN §10):
+/// incremental coalition masks, per-mask leaf-delta memoization, and
+/// grow-only arenas, bit-identical (0 ulp) to the Looped reference below
+/// at any thread count and SIMD setting.
 Vector InterventionalTreeShapThresholded(const DecisionTree& tree,
                                          const Matrix& xs,
                                          const std::vector<size_t>& rows,
                                          const Vector& weights,
                                          const Vector& z, double tau);
+
+/// Reference implementation of the same game: one independent IvWalk per
+/// row, with the batched sweep's tiling and cross-tile combine. Used by
+/// the 0-ulp golden tests and as the looped baseline for the
+/// audit-rows/sec benchmark.
+Vector InterventionalTreeShapThresholdedLooped(const DecisionTree& tree,
+                                               const Matrix& xs,
+                                               const std::vector<size_t>& rows,
+                                               const Vector& weights,
+                                               const Vector& z, double tau);
 
 /// A batch of explanations: row i of `phi` explains instance i.
 struct TreeShapBatchExplanation {

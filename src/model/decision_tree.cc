@@ -146,8 +146,15 @@ Vector DecisionTree::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
   Vector out(x.rows());
-  ParallelFor(0, x.rows(),
-              [&](size_t i) { out[i] = flat_.PredictRow(x.RowPtr(i)); });
+  // Chunk-granular dispatch: each out[i] is an independent pure function
+  // of row i (no reduction), so chunking is thread-count invariant, and
+  // the tight inner loop avoids a per-row std::function call that costs
+  // more than the tree walk itself.
+  ParallelForChunks(0, x.rows(), [&](const ChunkRange& chunk) {
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      out[i] = flat_.PredictRow(x.RowPtr(i));
+    }
+  });
   XFAIR_MONITOR_PREDICTIONS(out.data(), out.size(), threshold_);
   return out;
 }

@@ -50,6 +50,11 @@ struct FairnessShapOptions {
   /// generic engine is itself exact, i.e. d <= 10). Disable to force the
   /// generic engines, e.g. for benchmarking.
   bool use_tree_fast_path = true;
+  /// On the tree fast path, run the thresholded games as one batched SoA
+  /// tile sweep (DESIGN §10) instead of one IvWalk per sampled row. The
+  /// two are bit-identical (0 ulp); disable to force the looped
+  /// reference, e.g. for the audit-rows/sec benchmark baseline.
+  bool use_batched_sweep = true;
 };
 
 /// Decomposes the statistical parity difference of `model` on `data` into
@@ -60,6 +65,21 @@ struct FairnessShapOptions {
 FairnessShapReport ExplainParityWithShapley(
     const Model& model, const Dataset& data,
     const FairnessShapOptions& options);
+
+/// Slice-scale audit: decomposes the parity gap of the rows named by
+/// `slice` (indices into `data`) in one call, without materializing a
+/// sub-dataset. Bit-identical at every thread count to
+/// ExplainParityWithShapley(model, data.Subset(slice), options): the
+/// background means, row sampling, and engine dispatch all see the slice
+/// rows in slice order. kMask mode reads the slice in place (tree models
+/// take the batched thresholded sweep, other models the coalition-tiled
+/// generic path); kRetrain mode materializes the subset, since coalition
+/// models are fitted on it. Slices whose sampled rows all land in one
+/// group get the PR 3 sentinel treatment: a zero-contribution report
+/// (both gaps 0) instead of an inf-weighted game.
+FairnessShapReport FairnessShapBatch(const Model& model, const Dataset& data,
+                                     const std::vector<size_t>& slice,
+                                     const FairnessShapOptions& options);
 
 }  // namespace xfair
 

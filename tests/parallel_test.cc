@@ -270,6 +270,64 @@ TEST(ParallelUnfair, FairnessShapTreeFastPathIsThreadCountInvariant) {
       });
 }
 
+TEST(ParallelUnfair, FairnessShapBatchSliceIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(500, 512);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(data).ok());
+  std::vector<size_t> slice;
+  for (size_t i = 0; i < data.size(); ++i)
+    if (i % 5 != 2) slice.push_back(i);
+  const auto compare = [](const FairnessShapReport& a,
+                          const FairnessShapReport& b) {
+    ASSERT_EQ(a.contributions.size(), b.contributions.size());
+    for (size_t i = 0; i < a.contributions.size(); ++i)
+      EXPECT_EQ(a.contributions[i], b.contributions[i]);
+    EXPECT_EQ(a.ranked_features, b.ranked_features);
+    EXPECT_EQ(a.baseline_gap, b.baseline_gap);
+    EXPECT_EQ(a.full_gap, b.full_gap);
+  };
+  // Tree fast path: batched thresholded sweep over the slice.
+  ExpectSameAcrossThreadCounts<FairnessShapReport>(
+      [&] { return FairnessShapBatch(tree, data, slice, {}); }, compare);
+  // Generic path: coalition-tiled mask-gap table.
+  ExpectSameAcrossThreadCounts<FairnessShapReport>(
+      [&] { return FairnessShapBatch(lr, data, slice, {}); }, compare);
+}
+
+TEST(ParallelExplain, ThresholdedSweepIsThreadCountInvariant) {
+  Dataset data = CreditGen().Generate(600, 513);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  const size_t d = data.num_features();
+  Vector z(d, 0.0);
+  for (size_t i = 0; i < data.size(); ++i)
+    for (size_t c = 0; c < d; ++c) z[c] += data.x().At(i, c);
+  for (size_t c = 0; c < d; ++c) z[c] /= static_cast<double>(data.size());
+  std::vector<size_t> rows(data.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Vector weights(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i)
+    weights[i] = (data.group(i) == 0 ? 1.0 : -1.0) /
+                 (1.0 + static_cast<double>(i % 5));
+  ExpectSameAcrossThreadCounts<Vector>(
+      [&] {
+        Vector both = InterventionalTreeShapThresholded(
+            tree, data.x(), rows, weights, z, tree.threshold());
+        const Vector looped = InterventionalTreeShapThresholdedLooped(
+            tree, data.x(), rows, weights, z, tree.threshold());
+        both.insert(both.end(), looped.begin(), looped.end());
+        return both;
+      },
+      [](const Vector& a, const Vector& b) {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+      });
+}
+
 TEST(ParallelExplain, TreeShapIsThreadCountInvariant) {
   Dataset data = CreditGen().Generate(300, 508);
   RandomForest forest;

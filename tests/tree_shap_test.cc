@@ -297,6 +297,45 @@ TEST_F(TreeShapTest, InterventionalBatchMatchesPerInstanceBitForBit) {
   }
 }
 
+TEST_F(TreeShapTest, ThresholdedSweepMatchesLoopedWalksBitForBit) {
+  // 1300 sampled rows span a full 1024-instance tile plus a ragged tail,
+  // with signed non-uniform weights shaped like the fairness game's.
+  const Dataset wide = CreditGen().Generate(1300, 75);
+  const size_t d = wide.num_features();
+  Vector z(d, 0.0);
+  for (size_t i = 0; i < wide.size(); ++i)
+    for (size_t c = 0; c < d; ++c) z[c] += wide.x().At(i, c);
+  for (size_t c = 0; c < d; ++c) z[c] /= static_cast<double>(wide.size());
+  std::vector<size_t> rows(wide.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  Vector weights(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i)
+    weights[i] = (wide.group(i) == 0 ? 1.0 : -1.0) /
+                 (1.0 + static_cast<double>(i % 7));
+  // Depth 6 keeps every path within the leaf-memo budget; depth 9 with a
+  // tiny leaf floor pushes paths past it, exercising the unmemoized branch.
+  for (size_t depth : {size_t{6}, size_t{9}}) {
+    DecisionTreeOptions opts;
+    opts.max_depth = depth;
+    opts.min_samples_leaf = 2;
+    DecisionTree tree;
+    ASSERT_TRUE(tree.Fit(wide, opts).ok());
+    const Vector batched = InterventionalTreeShapThresholded(
+        tree, wide.x(), rows, weights, z, tree.threshold());
+    const Vector looped = InterventionalTreeShapThresholdedLooped(
+        tree, wide.x(), rows, weights, z, tree.threshold());
+    ASSERT_EQ(batched.size(), d);
+    ASSERT_EQ(looped.size(), d);
+    for (size_t c = 0; c < d; ++c)
+      EXPECT_EQ(batched[c], looped[c]) << "depth " << depth << " f " << c;
+    // Warm arenas and leaf memos must not change a single bit.
+    const Vector again = InterventionalTreeShapThresholded(
+        tree, wide.x(), rows, weights, z, tree.threshold());
+    for (size_t c = 0; c < d; ++c)
+      EXPECT_EQ(again[c], batched[c]) << "depth " << depth << " f " << c;
+  }
+}
+
 #ifndef XFAIR_OBS_DISABLED
 TEST_F(TreeShapTest, BatchSteadyStateGrowsNoArenas) {
   SetParallelThreads(1);  // One worker arena, deterministic accounting.
@@ -315,6 +354,35 @@ TEST_F(TreeShapTest, BatchSteadyStateGrowsNoArenas) {
   TreeShapBatchInto(forest, data_.x(), &phi, &base);
   EXPECT_EQ(CounterValue("tree_shap/arena_grows") - grows, 0u)
       << "steady-state batch call grew an arena";
+  EXPECT_GE(CounterValue("tree_shap/arena_reuses") - reuses, 1u);
+  SetParallelThreads(0);
+}
+
+TEST_F(TreeShapTest, ThresholdedSweepSteadyStateGrowsNoArenas) {
+  SetParallelThreads(1);  // One worker arena, deterministic accounting.
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data_).ok());
+  const size_t d = data_.num_features();
+  Vector z(d, 0.0);
+  for (size_t i = 0; i < data_.size(); ++i)
+    for (size_t c = 0; c < d; ++c) z[c] += data_.x().At(i, c);
+  for (size_t c = 0; c < d; ++c) z[c] /= static_cast<double>(data_.size());
+  std::vector<size_t> rows(data_.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const Vector weights(rows.size(), 1.0 / static_cast<double>(rows.size()));
+  const auto sweep = [&] {
+    return InterventionalTreeShapThresholded(tree, data_.x(), rows, weights,
+                                             z, tree.threshold());
+  };
+  // Two warmup calls: the first sizes the arenas, the second proves the
+  // shape converged.
+  sweep();
+  sweep();
+  const uint64_t grows = CounterValue("tree_shap/arena_grows");
+  const uint64_t reuses = CounterValue("tree_shap/arena_reuses");
+  sweep();
+  EXPECT_EQ(CounterValue("tree_shap/arena_grows") - grows, 0u)
+      << "steady-state thresholded sweep grew an arena";
   EXPECT_GE(CounterValue("tree_shap/arena_reuses") - reuses, 1u);
   SetParallelThreads(0);
 }

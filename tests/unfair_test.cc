@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "src/data/generators.h"
+#include "src/model/decision_tree.h"
 #include "src/unfair/ares.h"
 #include "src/unfair/burden.h"
 #include "src/unfair/causal_path.h"
@@ -319,6 +320,74 @@ TEST(FairnessShap, RetrainModeRunsAndRanks) {
   double sum = 0.0;
   for (double c : report.contributions) sum += c;
   EXPECT_NEAR(sum, report.full_gap, 1e-9);
+}
+
+/// FairnessShapBatch and the batched sweep promise bit-identity with their
+/// reference paths, not closeness — compare every report field with
+/// EXPECT_EQ (0 ulp).
+void ExpectReportsBitIdentical(const FairnessShapReport& a,
+                               const FairnessShapReport& b) {
+  ASSERT_EQ(a.contributions.size(), b.contributions.size());
+  for (size_t c = 0; c < a.contributions.size(); ++c)
+    EXPECT_EQ(a.contributions[c], b.contributions[c]) << "feature " << c;
+  EXPECT_EQ(a.full_gap, b.full_gap);
+  EXPECT_EQ(a.baseline_gap, b.baseline_gap);
+  EXPECT_EQ(a.ranked_features, b.ranked_features);
+  EXPECT_EQ(a.feature_names, b.feature_names);
+}
+
+TEST(FairnessShap, TreeBatchedSweepMatchesLoopedReferenceBitForBit) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  const Dataset data = CreditGen(cfg).Generate(1300, 79);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  FairnessShapOptions batched;  // kMask + tree fast path + batched sweep.
+  batched.background_size = 130;  // sample = all 1300 rows -> ragged tiles.
+  FairnessShapOptions looped = batched;
+  looped.use_batched_sweep = false;
+  ExpectReportsBitIdentical(ExplainParityWithShapley(tree, data, batched),
+                            ExplainParityWithShapley(tree, data, looped));
+}
+
+TEST(FairnessShap, BatchSliceMatchesSubsetExplainBitForBit) {
+  auto f = BiasedCredit::Make(1.0, 81, 1100);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(f.data).ok());
+  std::vector<size_t> slice;
+  for (size_t i = 0; i < f.data.size(); ++i)
+    if (i % 3 != 1) slice.push_back(i);  // Non-contiguous 2/3 slice.
+  const Dataset subset = f.data.Subset(slice);
+  FairnessShapOptions opts;
+  // Tree fast path: slice view vs materialized subset through the batched
+  // thresholded sweep.
+  ExpectReportsBitIdentical(FairnessShapBatch(tree, f.data, slice, opts),
+                            ExplainParityWithShapley(tree, subset, opts));
+  // Generic coalition-tiled path (logistic model, d <= 10 exact table).
+  ExpectReportsBitIdentical(FairnessShapBatch(f.model, f.data, slice, opts),
+                            ExplainParityWithShapley(f.model, subset, opts));
+}
+
+TEST(FairnessShap, BatchSingleGroupSliceReturnsZeroSentinel) {
+  auto f = BiasedCredit::Make();
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(f.data).ok());
+  std::vector<size_t> slice;
+  for (size_t i = 0; i < f.data.size(); ++i)
+    if (f.data.group(i) == 0) slice.push_back(i);
+  ASSERT_FALSE(slice.empty());
+  // Both the tree fast path and the generic path must hit the sentinel
+  // before any 1/count[g] weight is formed. Ranked order is not pinned:
+  // all-zero contributions sort arbitrarily.
+  for (const Model* m : {static_cast<const Model*>(&tree),
+                         static_cast<const Model*>(&f.model)}) {
+    const auto report = FairnessShapBatch(*m, f.data, slice, {});
+    EXPECT_EQ(report.full_gap, 0.0);
+    EXPECT_EQ(report.baseline_gap, 0.0);
+    ASSERT_EQ(report.contributions.size(), f.data.num_features());
+    for (double c : report.contributions) EXPECT_EQ(c, 0.0);
+    EXPECT_EQ(report.ranked_features.size(), f.data.num_features());
+  }
 }
 
 // --- causal path decomposition ---
