@@ -17,7 +17,8 @@ and exits nonzero if any comparison regresses by more than the threshold
 baseline are reported but never fail the gate: at sub-millisecond scale
 the scheduler owns more of the measurement than the algorithm does. For
 throughput fields the noise floor is the baseline's batch_ms (the wall
-time the rate was derived from). Benches present on only one side are
+time the rate was derived from; optimized_ms when the artifact has no
+batch_ms). Benches present on only one side are
 reported but do not fail the gate.
 """
 
@@ -75,8 +76,11 @@ def main():
         # Higher-is-better fields: the algorithmic-speedup ratio, the
         # batch-vs-looped ratio, and any throughput rate. Throughput
         # rates inherit the --min-ms noise floor through the batch wall
-        # time they were derived from.
+        # time they were derived from (falling back to the optimized
+        # wall time when the artifact carries no batch_ms).
         batch_ms = base.get("batch_ms")
+        if batch_ms is None:
+            batch_ms = base.get("optimized_ms")
         gated = batch_ms is None or batch_ms >= args.min_ms
         higher_is_better = ["algo_speedup", "batch_speedup"] + sorted(
             k for k in base if isinstance(k, str) and k.endswith("_per_sec"))

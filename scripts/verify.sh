@@ -70,25 +70,30 @@ echo "== bench-regression gate smoke (committed artifacts vs themselves) =="
 python3 scripts/bench_compare.py . .
 
 echo
-echo "== tree_shap + fairness_shap throughput benches (Release) =="
-# Runs the kernel bench and the fairness-SHAP bench in a scratch dir so
-# the committed BENCH_*.json stay untouched, and gates the throughput
-# fields (explanations_per_sec, audit_rows_per_sec, batch_speedup,
-# algo_speedup) against the committed artifacts through the extended
-# bench_compare.py (higher-is-better fields, 15% threshold, --min-ms
-# noise floor on the batch wall time). The fairness bench is filtered to
-# one cheap benchmark: the JSON artifact is written by its PrintOnce
-# block, which any benchmark triggers.
+echo "== tree_shap + fairness_shap + gopher throughput benches (Release) =="
+# Runs the kernel bench, the fairness-SHAP bench, and the gopher
+# slice-discovery bench in a scratch dir so the committed BENCH_*.json
+# stay untouched, and gates the throughput fields (explanations_per_sec,
+# audit_rows_per_sec, candidates_per_sec, batch_speedup, algo_speedup)
+# against the committed artifacts through the extended bench_compare.py
+# (higher-is-better fields, 15% threshold, --min-ms noise floor on the
+# batch wall time). Each bench is filtered to one cheap benchmark: the
+# JSON artifacts are written by their PrintOnce blocks, which any
+# benchmark triggers.
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-release -j --target bench_kernels bench_fairness_shap
+cmake --build build-release -j --target bench_kernels bench_fairness_shap \
+  bench_gopher
 bench_out=build-release/bench-out
 mkdir -p "$bench_out"
 (cd "$bench_out" && ../bench/bench_kernels --benchmark_min_time=0.01)
 (cd "$bench_out" && ../bench/bench_fairness_shap --benchmark_min_time=0.01 \
   --benchmark_filter='BM_FairnessShapMask/300')
+(cd "$bench_out" && ../bench/bench_gopher --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_GopherEstimateOnly/300')
 baseline_one=build-release/bench-committed
 rm -rf "$baseline_one" && mkdir -p "$baseline_one"
-cp BENCH_tree_shap.json BENCH_fairness_shap.json "$baseline_one"/
+cp BENCH_tree_shap.json BENCH_fairness_shap.json BENCH_gopher.json \
+  "$baseline_one"/
 python3 scripts/bench_compare.py "$baseline_one" "$bench_out" --min-ms 5
 
 if [[ "$run_bench" == 1 ]]; then

@@ -22,6 +22,7 @@
 #include "src/unfair/gopher.h"
 #include "src/unfair/precof.h"
 #include "src/unfair/recourse.h"
+#include "src/unfair/slice_search.h"
 #include "src/util/table.h"
 
 namespace xfair {
@@ -522,6 +523,31 @@ std::vector<ApproachDescriptor> BuildRegistry() {
                   r.feature_names[top] + "' gap=" + F(r.full_gap);
          }
          return out;
+       }});
+
+  // Worst-slice audit on the vertical-bitset lattice engine: top
+  // worst-off intersectional subgroups (conjunctions of up to three
+  // discretized conditions) by selection rate — the FFB/FairX-style
+  // multi-attribute subgroup setting of ROADMAP item 3.
+  reg.push_back(
+      {"[slice]", "worst-slice subgroup audit", false,
+       ExplanationStage::kPostHoc, ModelAccess::kBlackBox,
+       Agnosticism::kAgnostic, Coverage::kGlobal, "Subgroup search",
+       "Top-k worst-off slices", FairnessLevel::kGroup,
+       "Unfair model behavior", FairnessTask::kClassification,
+       Goals{true, true, false}, [](const RunContext& ctx) {
+         LogisticRegression model;
+         XFAIR_CHECK(model.Fit(ctx.credit).ok());
+         SliceSearchOptions opts;
+         opts.metric = SliceMetricKind::kSelectionRate;
+         const WorstSliceReport r =
+             WorstSliceSearch(model, ctx.credit, opts);
+         if (r.slices.empty()) return std::string("no slice above support");
+         const SliceStat& worst = r.slices[0];
+         return std::to_string(r.slices_examined) + " slices; worst '" +
+                worst.description + "' rate=" + F(worst.metric_value) +
+                " overall=" + F(r.overall_metric) +
+                " gap=" + F(worst.gap_to_overall);
        }});
 
   return reg;

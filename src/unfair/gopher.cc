@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <queue>
 
 #include "src/explain/influence.h"
 #include "src/fairness/group_metrics.h"
 #include "src/obs/obs.h"
+#include "src/unfair/slice_search.h"
+#include "src/util/kernels.h"
 #include "src/util/parallel.h"
 
 namespace xfair {
@@ -76,118 +79,151 @@ Result<GopherReport> ExplainUnfairnessByPatterns(
   const size_t max_count = static_cast<size_t>(
       options.max_support * static_cast<double>(n));
 
-  // Frequent patterns (apriori to max_conditions), scored by influence.
-  std::vector<Conditions> singles;
-  for (size_t f = 0; f < train.num_features(); ++f) {
-    for (size_t b = 0; b < disc.NumBins(f); ++b) {
-      singles.push_back({{f, b}});
-    }
-  }
   std::vector<GopherPattern> scored;
-  std::vector<Conditions> current;
-  for (const auto& cand : singles) current.push_back(cand);
-  for (size_t depth = 1; depth <= options.max_conditions; ++depth) {
-    XFAIR_SPAN("gopher/apriori_depth");
-    XFAIR_COUNTER_ADD("gopher/candidates_scored", current.size());
-    // Score every candidate. Either a row-major scan (each row deposits
-    // into the candidates it matches — no per-candidate data pass) or the
-    // candidate-major baseline; both accumulate every candidate's
-    // influence sum in ascending row order, so the scores are identical
-    // bit for bit and independent of the thread count.
-    std::vector<size_t> supports(current.size(), 0);
-    Vector estimates(current.size(), 0.0);
-    // Single-condition id: sid(f, b) = sid_offset[f] + b. The depth-1
-    // candidate list is exactly the singles in sid order.
-    std::vector<size_t> sid_offset(train.num_features() + 1, 0);
-    for (size_t f = 0; f < train.num_features(); ++f)
-      sid_offset[f + 1] = sid_offset[f] + disc.NumBins(f);
-    const size_t num_sids = sid_offset.back();
-    const size_t d = train.num_features();
-    bool fast_done = false;
-    if (options.fast_pair_scan && depth == 1) {
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t f = 0; f < d; ++f) {
-          const size_t ci = sid_offset[f] + bins.bin(i, f);
-          ++supports[ci];
-          estimates[ci] += influence[i];
-        }
-      }
-      fast_done = true;
-    } else if (options.fast_pair_scan && depth == 2 && num_sids <= 4096) {
-      // Dense (sid, sid) -> candidate-index table; rows then deposit into
-      // their d*(d-1)/2 matching pairs directly.
-      std::vector<int32_t> pair_ci(num_sids * num_sids, -1);
-      for (size_t ci = 0; ci < current.size(); ++ci) {
-        const auto& [f1, b1] = current[ci][0];
-        const auto& [f2, b2] = current[ci][1];
-        pair_ci[(sid_offset[f1] + b1) * num_sids + (sid_offset[f2] + b2)] =
-            static_cast<int32_t>(ci);
-      }
-      for (size_t i = 0; i < n; ++i) {
-        for (size_t f1 = 0; f1 + 1 < d; ++f1) {
-          const size_t sid1 = sid_offset[f1] + bins.bin(i, f1);
-          for (size_t f2 = f1 + 1; f2 < d; ++f2) {
-            const int32_t ci =
-                pair_ci[sid1 * num_sids + sid_offset[f2] + bins.bin(i, f2)];
-            if (ci < 0) continue;
-            ++supports[static_cast<size_t>(ci)];
-            estimates[static_cast<size_t>(ci)] += influence[i];
-          }
-        }
-      }
-      fast_done = true;
+  const auto collect = [&](const Conditions& cand, size_t support,
+                           double estimate) {
+    GopherPattern p;
+    p.conditions = cand;
+    p.description = Describe(disc, train.schema(), cand);
+    p.support = support;
+    p.estimated_gap_change = estimate;
+    p.interestingness = std::fabs(estimate) / static_cast<double>(support);
+    scored.push_back(std::move(p));
+  };
+
+  if (options.use_bitset_engine) {
+    // Vertical-bitset lattice engine (DESIGN.md §11): extents by word-wise
+    // AND, supports by popcount, estimates by a masked influence sweep.
+    // Every depth takes this path — no dense pair table, no per-candidate
+    // row scan, no num_sids cap.
+    XFAIR_SPAN("gopher/lattice_engine");
+    SliceExtentIndex index(disc, train);
+    // Optimistic bound: a sub-slice's estimate is a subset sum of its
+    // ancestor's extent, so it can never fall below the extent's total
+    // negative influence mass. Once the top-k heap is full, extents whose
+    // negative mass cannot beat the k-th best estimate stop extending.
+    const bool prune = options.optimistic_prune && options.top_k > 0;
+    Vector neg_influence;
+    if (prune) {
+      neg_influence.resize(n);
+      for (size_t i = 0; i < n; ++i)
+        neg_influence[i] = std::min(influence[i], 0.0);
     }
-    if (!fast_done) {
+    std::priority_queue<double> top_estimates;  // k smallest seen so far.
+    size_t bound_pruned = 0;
+    Vector estimates, bounds;
+    const auto stats = LatticeWalk(
+        index, min_count, options.max_conditions,
+        /*begin_level=*/
+        [&](size_t count) {
+          estimates.assign(count, 0.0);
+          if (prune) bounds.assign(count, 0.0);
+        },
+        /*score=*/
+        [&](size_t ci, const LatticeNode& node) {
+          estimates[ci] =
+              kernels::MaskedSumU64(influence.data(), node.extent, n);
+          if (prune) {
+            bounds[ci] =
+                kernels::MaskedSumU64(neg_influence.data(), node.extent, n);
+          }
+        },
+        /*admit=*/
+        [&](size_t ci, const LatticeNode& node) {
+          if (node.support >= min_count && node.support <= max_count) {
+            Conditions cand(node.depth);
+            for (size_t k = 0; k < node.depth; ++k)
+              cand[k] = index.condition(node.sids[k]);
+            collect(cand, node.support, estimates[ci]);
+            if (prune) {
+              top_estimates.push(estimates[ci]);
+              if (top_estimates.size() > options.top_k) top_estimates.pop();
+            }
+          }
+          if (prune && top_estimates.size() == options.top_k) {
+            // Strict-with-slack comparison: the slack absorbs the masked
+            // sum's rounding, so a descendant whose true estimate ties the
+            // k-th best is never cut and the reported top-k stays exact.
+            const double bound =
+                bounds[ci] - 1e-9 * (1.0 + std::fabs(bounds[ci]));
+            if (bound > top_estimates.top()) {
+              ++bound_pruned;
+              return false;
+            }
+          }
+          return true;
+        });
+    report.candidates_scored = stats.candidates;
+    report.bound_pruned = bound_pruned;
+    XFAIR_COUNTER_ADD("gopher/candidates_scored", stats.candidates);
+    XFAIR_COUNTER_ADD("gopher/singles_pruned", stats.singles_zero_support);
+    XFAIR_COUNTER_ADD("gopher/bound_pruned", bound_pruned);
+  } else {
+    // Looped golden oracle: level-wise apriori with one BinTable::Matches
+    // row scan per candidate. Each candidate's mask is built bit by bit
+    // and reduced with the scalar reference masked sum, so its estimate is
+    // bit-identical to the engine's (the kernel contract pins dispatched
+    // == scalar at 0 ulp) and the engine tests can demand EXPECT_EQ.
+    std::vector<Conditions> singles;
+    for (size_t f = 0; f < train.num_features(); ++f) {
+      for (size_t b = 0; b < disc.NumBins(f); ++b) singles.push_back({{f, b}});
+    }
+    const size_t words = (n + 63) / 64;
+    std::vector<Conditions> current = singles;
+    for (size_t depth = 1; depth <= options.max_conditions && !current.empty();
+         ++depth) {
+      XFAIR_SPAN("gopher/apriori_depth");
+      XFAIR_COUNTER_ADD("gopher/candidates_scored", current.size());
+      report.candidates_scored += current.size();
+      std::vector<size_t> supports(current.size(), 0);
+      Vector estimates(current.size(), 0.0);
       ParallelFor(0, current.size(), [&](size_t ci) {
         const Conditions& cand = current[ci];
+        std::vector<uint64_t> mask(words, 0);
         size_t support = 0;
-        double est = 0.0;
         for (size_t i = 0; i < n; ++i) {
           if (!bins.Matches(i, cand)) continue;
+          mask[i >> 6] |= uint64_t{1} << (i & 63);
           ++support;
-          est += influence[i];
         }
         supports[ci] = support;
-        estimates[ci] = est;
+        estimates[ci] =
+            kernels::detail::MaskedSumU64Scalar(influence.data(), mask.data(), n);
       });
-    }
-    // Collect the frequent and scored patterns in candidate order.
-    std::vector<Conditions> next;
-    for (size_t ci = 0; ci < current.size(); ++ci) {
-      const Conditions& cand = current[ci];
-      if (supports[ci] < min_count) continue;
-      next.push_back(cand);  // Frequent: extendable at the next depth.
-      if (supports[ci] > max_count) continue;
-      GopherPattern p;
-      p.conditions = cand;
-      p.description = Describe(disc, train.schema(), cand);
-      p.support = supports[ci];
-      p.estimated_gap_change = estimates[ci];
-      p.interestingness =
-          std::fabs(estimates[ci]) / static_cast<double>(supports[ci]);
-      scored.push_back(std::move(p));
-    }
-    if (depth == options.max_conditions) break;
-    // Extend frequent patterns by one canonical-order condition.
-    std::vector<Conditions> extended;
-    for (const auto& base : next) {
-      if (base.size() != depth) continue;
-      for (const auto& ext : singles) {
-        if (ext[0].first <= base.back().first) continue;
-        Conditions grown = base;
-        grown.push_back(ext[0]);
-        extended.push_back(std::move(grown));
+      // Collect the frequent and scored patterns in candidate order.
+      std::vector<Conditions> next;
+      for (size_t ci = 0; ci < current.size(); ++ci) {
+        if (supports[ci] < min_count) continue;
+        next.push_back(current[ci]);  // Frequent: extendable next depth.
+        if (supports[ci] > max_count) continue;
+        collect(current[ci], supports[ci], estimates[ci]);
       }
+      if (depth == options.max_conditions) break;
+      // Extend frequent patterns by one canonical-order condition.
+      std::vector<Conditions> extended;
+      for (const auto& base : next) {
+        if (base.size() != depth) continue;
+        for (const auto& ext : singles) {
+          if (ext[0].first <= base.back().first) continue;
+          Conditions grown = base;
+          grown.push_back(ext[0]);
+          extended.push_back(std::move(grown));
+        }
+      }
+      current = std::move(extended);
     }
-    current = std::move(extended);
   }
   report.patterns_examined = scored.size();
   XFAIR_COUNTER_ADD("gopher/patterns_examined", scored.size());
 
   // Most gap-reducing removals first (most negative estimated change).
+  // Ties resolve by lexicographic conditions — a total order, so the
+  // ranking is identical across engine/oracle paths and thread counts.
   std::sort(scored.begin(), scored.end(),
             [](const GopherPattern& a, const GopherPattern& b) {
-              return a.estimated_gap_change < b.estimated_gap_change;
+              if (a.estimated_gap_change != b.estimated_gap_change)
+                return a.estimated_gap_change < b.estimated_gap_change;
+              return a.conditions < b.conditions;
             });
   if (scored.size() > options.top_k) scored.resize(options.top_k);
 

@@ -40,20 +40,28 @@ struct GopherOptions {
   double min_support = 0.02;  ///< Of the training set.
   double max_support = 0.5;   ///< Patterns larger than this explain nothing.
   size_t top_k = 5;           ///< Patterns to verify by retraining.
-  /// Score length-1/2 candidates with a row-major scan (each row deposits
-  /// into the candidates it matches via a dense condition-id table)
-  /// instead of one full-data pass per candidate — a bins-fold (singles)
-  /// to bins^2-fold (pairs) reduction in work with bit-identical scores,
-  /// since each candidate still accumulates rows in ascending order.
-  /// Candidates of length >= 3 always use the per-candidate scan.
-  bool fast_pair_scan = true;
+  /// Score candidates on the vertical-bitset lattice engine
+  /// (src/unfair/slice_search.h): extents are word-wise ANDs of single
+  /// bitvectors, supports are popcounts, and estimates are
+  /// kernels::MaskedSumU64 sweeps — every depth takes the fast path.
+  /// Off = the per-candidate looped scan over BinTable::Matches, kept as
+  /// the golden oracle the engine is pinned against at 0 ulp.
+  bool use_bitset_engine = true;
+  /// Skip extending subgroups whose total negative influence mass cannot
+  /// beat the current top-k (an optimistic bound: any sub-slice's
+  /// estimate is a subset sum, so it is at least the parent extent's
+  /// negative mass). Never changes the reported top-k patterns; it only
+  /// shrinks patterns_examined. Engine path only; needs top_k > 0.
+  bool optimistic_prune = true;
 };
 
 /// Gopher report: patterns sorted by descending estimated gap reduction.
 struct GopherReport {
   std::vector<GopherPattern> patterns;  ///< Top-k, verified.
   double original_gap = 0.0;            ///< Parity gap of the input model.
-  size_t patterns_examined = 0;
+  size_t patterns_examined = 0;  ///< In-support-band patterns scored.
+  size_t candidates_scored = 0;  ///< Lattice candidates materialized.
+  size_t bound_pruned = 0;  ///< Extensions cut by the optimistic bound.
 };
 
 /// `model` must be a logistic regression fitted on `train` (influence

@@ -96,6 +96,33 @@ double MaskedDotScalar(const double* __restrict w,
   return acc;
 }
 
+double MaskedSumU64Scalar(const double* __restrict v,
+                          const uint64_t* __restrict bits, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  while (i < n4) {
+    if ((i & 63) == 0) {
+      // Zero-word skip (part of the API, see kernels.h): a 64-row group
+      // with no set bits would only add +0.0 to each lane, so whole
+      // zero words are stepped over without touching the accumulators.
+      while (i + 64 <= n4 && bits[i >> 6] == 0) i += 64;
+      if (i >= n4) break;
+    }
+    const uint64_t nib = (bits[i >> 6] >> (i & 63)) & 0xF;
+    l0 += (nib & 1) ? v[i] : 0.0;
+    l1 += (nib & 2) ? v[i + 1] : 0.0;
+    l2 += (nib & 4) ? v[i + 2] : 0.0;
+    l3 += (nib & 8) ? v[i + 3] : 0.0;
+    i += 4;
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (size_t t = n4; t < n; ++t) {
+    acc += ((bits[t >> 6] >> (t & 63)) & 1) ? v[t] : 0.0;
+  }
+  return acc;
+}
+
 void AxpyScalar(double alpha, const double* __restrict x,
                 double* __restrict y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
@@ -182,6 +209,36 @@ __attribute__((target("avx2"))) void AxpyAvx2(double alpha,
   for (size_t i = n4; i < n; ++i) y[i] += alpha * x[i];
 }
 
+__attribute__((target("avx2"))) double MaskedSumU64Avx2(
+    const double* __restrict v, const uint64_t* __restrict bits, size_t n) {
+  const size_t n4 = n & ~size_t{3};
+  // Lane j of `sel` carries bit value 1 << j; comparing (nibble & sel)
+  // against sel turns the mask nibble into a per-lane all-ones/zeros
+  // blend mask. ANDing the loaded values keeps masked-in lanes exact and
+  // turns masked-out lanes into +0.0 — the same term the scalar
+  // reference adds, so the add sequences are identical.
+  const __m256i sel = _mm256_set_epi64x(8, 4, 2, 1);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  while (i < n4) {
+    if ((i & 63) == 0) {
+      while (i + 64 <= n4 && bits[i >> 6] == 0) i += 64;  // Zero-word skip.
+      if (i >= n4) break;
+    }
+    const long long nib =
+        static_cast<long long>((bits[i >> 6] >> (i & 63)) & 0xF);
+    const __m256i hit = _mm256_and_si256(_mm256_set1_epi64x(nib), sel);
+    const __m256d mask = _mm256_castsi256_pd(_mm256_cmpeq_epi64(hit, sel));
+    acc = _mm256_add_pd(acc, _mm256_and_pd(mask, _mm256_loadu_pd(v + i)));
+    i += 4;
+  }
+  double total = HorizontalPinned(acc);
+  for (size_t t = n4; t < n; ++t) {
+    total += ((bits[t >> 6] >> (t & 63)) & 1) ? v[t] : 0.0;
+  }
+  return total;
+}
+
 bool DetectAvx2() { return __builtin_cpu_supports("avx2") != 0; }
 const bool kAvx2 = DetectAvx2();
 
@@ -221,6 +278,42 @@ double WeightedSquaredDistance(const double* a, const double* b,
 double MaskedDot(const double* w, const double* a, const double* b,
                  const uint8_t* keep, size_t n) {
   return detail::MaskedDotScalar(w, a, b, keep, n);
+}
+
+double MaskedSumU64(const double* v, const uint64_t* bits, size_t n) {
+#if XFAIR_KERNELS_AVX2
+  if (kAvx2) return MaskedSumU64Avx2(v, bits, n);
+#endif
+  return detail::MaskedSumU64Scalar(v, bits, n);
+}
+
+size_t PopcountU64(const uint64_t* bits, size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(bits[w]));
+  }
+  return count;
+}
+
+size_t AndPopcountU64(const uint64_t* __restrict a,
+                      const uint64_t* __restrict b,
+                      uint64_t* __restrict out, size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    const uint64_t v = a[w] & b[w];
+    out[w] = v;
+    count += static_cast<size_t>(__builtin_popcountll(v));
+  }
+  return count;
+}
+
+size_t AndPopcountU64(const uint64_t* __restrict a,
+                      const uint64_t* __restrict b, size_t words) {
+  size_t count = 0;
+  for (size_t w = 0; w < words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return count;
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {

@@ -106,6 +106,33 @@ void SigmoidBatch(const double* z, double* out, size_t n);
 /// Counted ("kernels/softmax_rows").
 void SoftmaxRow(double* logits, size_t k);
 
+/// sum of v[i] over the set bits of an n-row bitvector (uint64 words,
+/// bit i of word i/64 is row i), the extent-masked reducer behind the
+/// subgroup-search lattice. Pinned four-lane order over masked terms
+/// t_i = (bit_i ? v[i] : 0.0), with one extra rule that is also part of
+/// the API: a 64-row group whose mask word is zero is skipped outright
+/// (its sixteen all-zero quads never touch the accumulators), so sparse
+/// extents cost O(set words), not O(n). The scalar reference and the
+/// AVX2 specialization execute the identical add sequence, so they are
+/// bit-identical at 0 ulp like every other reducer.
+double MaskedSumU64(const double* v, const uint64_t* bits, size_t n);
+
+/// Number of set bits in `words` uint64 words.
+size_t PopcountU64(const uint64_t* bits, size_t words);
+
+/// out[w] = a[w] & b[w]; returns the popcount of the result. The
+/// word-wise extent intersection of the lattice engine: a depth-k
+/// candidate's extent is the AND of k single-condition bitvectors, and
+/// its support is the returned popcount. Integer-only, so SIMD and
+/// thread count cannot perturb it.
+size_t AndPopcountU64(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                      size_t words);
+
+/// Popcount of a & b without materializing the intersection — counting
+/// metric numerators/denominators inside an extent (hits = |extent ∩
+/// predicted-positive| and so on) costs two sweeps and no scratch.
+size_t AndPopcountU64(const uint64_t* a, const uint64_t* b, size_t words);
+
 /// One paired SGD step of matrix factorization on user factors u and
 /// item factors q (the BPR-style update in src/rec/mf.cc):
 ///   u[i] -= lr * (err * q_old + l2 * u_old)
@@ -130,6 +157,7 @@ double WeightedSquaredDistanceScalar(const double* a, const double* b,
                                      const double* inv_scale, size_t n);
 double MaskedDotScalar(const double* w, const double* a, const double* b,
                        const uint8_t* keep, size_t n);
+double MaskedSumU64Scalar(const double* v, const uint64_t* bits, size_t n);
 void AxpyScalar(double alpha, const double* x, double* y, size_t n);
 }  // namespace detail
 

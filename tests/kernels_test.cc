@@ -112,6 +112,60 @@ TEST(Kernels, MaskedDotMatchesPinnedOrderReference) {
   }
 }
 
+// Bit-mask helper for the U64 kernels: n-row bitvector with the rows
+// past n left zero, plus fill modes for the edge masks.
+std::vector<uint64_t> BitMask(size_t n, Rng* rng, double density = 0.5) {
+  std::vector<uint64_t> bits((n + 63) / 64, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Uniform() < density) bits[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  return bits;
+}
+
+TEST(Kernels, MaskedSumU64MatchesPinnedOrderReference) {
+  Rng rng(31);
+  const size_t sizes[] = {0, 1, 3, 5, 63, 64, 65, 127, 128, 700, 1000};
+  for (size_t n : sizes) {
+    const auto v = RandomVec(n, &rng);
+    for (double density : {0.0, 0.07, 0.5, 1.0}) {
+      const auto bits = BitMask(n, &rng, density);
+      // The zero-word skip never changes the value: a skipped word's
+      // sixteen quads would each add 0.0 to every lane.
+      const double want = PinnedReduce(n, [&](size_t i) {
+        return (bits[i >> 6] >> (i & 63)) & 1 ? v[i] : 0.0;
+      });
+      EXPECT_EQ(kernels::MaskedSumU64(v.data(), bits.data(), n), want)
+          << "n=" << n << " density=" << density;
+      EXPECT_EQ(kernels::detail::MaskedSumU64Scalar(v.data(), bits.data(), n),
+                want)
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(Kernels, PopcountKernelsCountExactly) {
+  Rng rng(32);
+  for (size_t n : {0u, 1u, 63u, 64u, 65u, 700u}) {
+    const auto a = BitMask(n, &rng), b = BitMask(n, &rng);
+    size_t want_a = 0, want_and = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool in_a = (a[i >> 6] >> (i & 63)) & 1;
+      const bool in_b = (b[i >> 6] >> (i & 63)) & 1;
+      want_a += in_a;
+      want_and += in_a && in_b;
+    }
+    EXPECT_EQ(kernels::PopcountU64(a.data(), a.size()), want_a) << "n=" << n;
+    EXPECT_EQ(kernels::AndPopcountU64(a.data(), b.data(), a.size()), want_and)
+        << "n=" << n;
+    std::vector<uint64_t> out(a.size(), ~uint64_t{0});
+    EXPECT_EQ(kernels::AndPopcountU64(a.data(), b.data(), out.data(),
+                                      a.size()),
+              want_and)
+        << "n=" << n;
+    EXPECT_EQ(kernels::PopcountU64(out.data(), out.size()), want_and);
+  }
+}
+
 // Dispatched entry points vs the always-compiled scalar references. In
 // an AVX2-enabled build this proves the SIMD specializations are
 // bit-identical to the scalar pinned order; in a -DXFAIR_SIMD=OFF build

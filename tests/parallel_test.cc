@@ -26,6 +26,7 @@
 #include "src/obs/obs.h"
 #include "src/unfair/fairness_shap.h"
 #include "src/unfair/gopher.h"
+#include "src/unfair/slice_search.h"
 #include "src/util/kdtree.h"
 #include "src/util/rng.h"
 
@@ -250,6 +251,64 @@ TEST(ParallelUnfair, GopherTopKIsThreadCountInvariant) {
                     b.patterns[i].verified_gap_change);
         }
       });
+}
+
+TEST(ParallelUnfair, GopherDepth3LatticeEngineIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(400, 509);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  GopherOptions opts;  // Bitset engine + optimistic prune, both defaults.
+  opts.max_conditions = 3;
+  opts.top_k = 3;
+  ExpectSameAcrossThreadCounts<GopherReport>(
+      [&] {
+        auto report = ExplainUnfairnessByPatterns(model, data, opts);
+        XFAIR_CHECK(report.ok());
+        return *report;
+      },
+      [](const GopherReport& a, const GopherReport& b) {
+        ASSERT_EQ(a.patterns.size(), b.patterns.size());
+        EXPECT_EQ(a.patterns_examined, b.patterns_examined);
+        EXPECT_EQ(a.candidates_scored, b.candidates_scored);
+        EXPECT_EQ(a.bound_pruned, b.bound_pruned);
+        for (size_t i = 0; i < a.patterns.size(); ++i) {
+          EXPECT_EQ(a.patterns[i].description, b.patterns[i].description);
+          EXPECT_EQ(a.patterns[i].support, b.patterns[i].support);
+          EXPECT_EQ(a.patterns[i].estimated_gap_change,
+                    b.patterns[i].estimated_gap_change);
+          EXPECT_EQ(a.patterns[i].verified_gap_change,
+                    b.patterns[i].verified_gap_change);
+        }
+      });
+}
+
+TEST(ParallelUnfair, WorstSliceSearchIsThreadCountInvariant) {
+  BiasConfig cfg;
+  cfg.score_shift = 1.0;
+  Dataset data = CreditGen(cfg).Generate(500, 510);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (const bool engine : {true, false}) {
+    SliceSearchOptions opts;
+    opts.use_bitset_engine = engine;
+    ExpectSameAcrossThreadCounts<WorstSliceReport>(
+        [&] { return WorstSliceSearch(model, data, opts); },
+        [](const WorstSliceReport& a, const WorstSliceReport& b) {
+          EXPECT_EQ(a.overall_metric, b.overall_metric);
+          EXPECT_EQ(a.slices_examined, b.slices_examined);
+          EXPECT_EQ(a.lattice_candidates, b.lattice_candidates);
+          ASSERT_EQ(a.slices.size(), b.slices.size());
+          for (size_t i = 0; i < a.slices.size(); ++i) {
+            EXPECT_EQ(a.slices[i].description, b.slices[i].description);
+            EXPECT_EQ(a.slices[i].support, b.slices[i].support);
+            EXPECT_EQ(a.slices[i].hits, b.slices[i].hits);
+            EXPECT_EQ(a.slices[i].relevant, b.slices[i].relevant);
+            EXPECT_EQ(a.slices[i].metric_value, b.slices[i].metric_value);
+          }
+        });
+  }
 }
 
 TEST(ParallelUnfair, FairnessShapTreeFastPathIsThreadCountInvariant) {

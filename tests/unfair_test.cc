@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/data/generators.h"
@@ -21,6 +22,7 @@
 #include "src/unfair/gopher.h"
 #include "src/unfair/precof.h"
 #include "src/unfair/recourse.h"
+#include "src/unfair/slice_search.h"
 
 namespace xfair {
 namespace {
@@ -464,6 +466,134 @@ TEST(Gopher, VerifiedChangesCorrelateWithEstimates) {
   ASSERT_GT(verified, 0u);
   EXPECT_GE(same_sign * 2, verified)
       << "at least half the verified patterns should agree in direction";
+}
+
+// --- worst-slice subgroup search ---
+
+TEST(WorstSlice, RecoversPlantedDisadvantagedGroup) {
+  auto f = BiasedCredit::Make(1.0, 85, 700);
+  // Restricted to the sensitive column only, the worst "slice" must be
+  // the planted disadvantaged group itself.
+  SliceSearchOptions opts;
+  opts.columns = {0};
+  opts.max_conditions = 1;
+  opts.bins = 2;
+  opts.top_k = 2;
+  const WorstSliceReport r = WorstSliceSearch(f.model, f.data, opts);
+  ASSERT_EQ(r.slices.size(), 2u);
+  EXPECT_EQ(r.slices[0].conditions.size(), 1u);
+  EXPECT_EQ(r.slices[0].conditions[0].first, 0u);  // Sensitive column.
+  EXPECT_LT(r.slices[0].metric_value, r.slices[1].metric_value);
+  EXPECT_LT(r.slices[0].gap_to_overall, 0.0);
+  // The slice's selection rate must match a direct count.
+  const auto& worst = r.slices[0];
+  EXPECT_EQ(worst.metric_value, static_cast<double>(worst.hits) /
+                                    static_cast<double>(worst.relevant));
+}
+
+TEST(WorstSlice, IntersectionalSearchFindsSlicesBelowOverall) {
+  auto f = BiasedCredit::Make(1.0, 86, 600);
+  SliceSearchOptions opts;  // All columns, depth 3, selection rate.
+  const WorstSliceReport r = WorstSliceSearch(f.model, f.data, opts);
+  ASSERT_FALSE(r.slices.empty());
+  EXPECT_GT(r.slices_examined, r.slices.size());
+  EXPECT_GT(r.lattice_candidates, 0u);
+  const size_t min_count = static_cast<size_t>(0.02 * 600);
+  double prev = -1.0;
+  for (const auto& s : r.slices) {
+    EXPECT_LE(s.conditions.size(), opts.max_conditions);
+    EXPECT_GE(s.support, min_count);
+    EXPECT_LE(s.hits, s.relevant);
+    EXPECT_LE(s.relevant, s.support);
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_GE(s.metric_value, prev);  // Worst (lowest rate) first.
+    prev = s.metric_value;
+  }
+  EXPECT_LT(r.slices[0].metric_value, r.overall_metric);
+}
+
+TEST(WorstSlice, EngineMatchesLoopedOracleExactly) {
+  auto f = BiasedCredit::Make(1.0, 87, 500);
+  for (const auto metric :
+       {SliceMetricKind::kSelectionRate, SliceMetricKind::kAccuracy,
+        SliceMetricKind::kTruePositiveRate,
+        SliceMetricKind::kFalsePositiveRate}) {
+    SliceSearchOptions engine_opts;
+    engine_opts.metric = metric;
+    engine_opts.top_k = 8;
+    SliceSearchOptions oracle_opts = engine_opts;
+    oracle_opts.use_bitset_engine = false;
+    const WorstSliceReport fast = WorstSliceSearch(f.model, f.data,
+                                                   engine_opts);
+    const WorstSliceReport slow = WorstSliceSearch(f.model, f.data,
+                                                   oracle_opts);
+    EXPECT_EQ(fast.overall_metric, slow.overall_metric);
+    EXPECT_EQ(fast.slices_examined, slow.slices_examined);
+    ASSERT_EQ(fast.slices.size(), slow.slices.size());
+    for (size_t i = 0; i < fast.slices.size(); ++i) {
+      EXPECT_EQ(fast.slices[i].description, slow.slices[i].description);
+      EXPECT_EQ(fast.slices[i].support, slow.slices[i].support);
+      EXPECT_EQ(fast.slices[i].hits, slow.slices[i].hits);
+      EXPECT_EQ(fast.slices[i].relevant, slow.slices[i].relevant);
+      EXPECT_EQ(fast.slices[i].metric_value, slow.slices[i].metric_value);
+      EXPECT_EQ(fast.slices[i].gap_to_overall, slow.slices[i].gap_to_overall);
+    }
+  }
+}
+
+TEST(WorstSlice, FalsePositiveRateRanksHighestFirst) {
+  auto f = BiasedCredit::Make(1.0, 88, 500);
+  SliceSearchOptions opts;
+  opts.metric = SliceMetricKind::kFalsePositiveRate;
+  const WorstSliceReport r = WorstSliceSearch(f.model, f.data, opts);
+  double prev = 2.0;
+  for (const auto& s : r.slices) {
+    EXPECT_LE(s.metric_value, prev);  // Higher FPR = worse = first.
+    prev = s.metric_value;
+  }
+}
+
+// Zero-support singles (discretizer bins that never occur in the indexed
+// data) are pruned before any extension, and the walk reports them.
+TEST(WorstSlice, LatticeWalkPrunesZeroSupportSingles) {
+  auto f = BiasedCredit::Make(1.0, 89, 400);
+  // Discretize on the full data, but index only the rows the model
+  // rejects — bins populated solely by accepted rows go extent-empty.
+  Discretizer disc(f.data, /*bins=*/6);
+  std::vector<size_t> low;
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    if (i % 3 == 0) low.push_back(i);
+  }
+  const Dataset subset = f.data.Subset(low);
+  // Squash a column so several of its full-data bins are empty in the
+  // index: every subset row takes the column's minimum value.
+  Matrix x = subset.x();
+  double squash = x.At(0, 2);
+  for (size_t i = 0; i < x.rows(); ++i) squash = std::min(squash, x.At(i, 2));
+  for (size_t i = 0; i < x.rows(); ++i) x.At(i, 2) = squash;
+  const Dataset squashed(subset.schema(), std::move(x), subset.labels(),
+                         subset.groups());
+  const SliceExtentIndex index(disc, squashed);
+  size_t seen = 0;
+  const auto stats = LatticeWalk(
+      index, /*min_count=*/1, /*max_depth=*/2,
+      [](size_t) {}, [](size_t, const LatticeNode&) {},
+      [&](size_t, const LatticeNode& node) {
+        // Dead singles never materialize (intersections can still be
+        // empty at depth 2 — only the singles level is pre-pruned).
+        if (node.depth == 1) EXPECT_GT(node.support, 0u);
+        ++seen;
+        return true;
+      });
+  EXPECT_GT(stats.singles_zero_support, 0u);
+  EXPECT_EQ(stats.candidates, seen);
+  // Every single the walk dropped or kept is accounted for.
+  size_t frequent = 0;
+  for (size_t sid = 0; sid < index.num_singles(); ++sid) {
+    if (index.support(sid) >= 1) ++frequent;
+  }
+  EXPECT_EQ(frequent + stats.singles_zero_support + stats.singles_infrequent,
+            index.num_singles());
 }
 
 // --- probabilistic contrastive counterfactuals ---
