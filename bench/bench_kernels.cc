@@ -28,6 +28,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include <cmath>
 #include <cstdio>
 
@@ -37,6 +39,8 @@
 #include "src/explain/tree_shap.h"
 #include "src/model/knn.h"
 #include "src/model/random_forest.h"
+#include "src/unfair/fairness_shap.h"
+#include "src/unfair/slice_search.h"
 #include "src/util/kernels.h"
 #include "src/util/table.h"
 
@@ -259,19 +263,19 @@ void PrintOnce() {
     //   off    — monitoring disabled (the hook is one relaxed load);
     //   idle   — monitoring enabled, no stream context installed;
     //   active — enabled with a stream context, one drain per batch.
+    Dataset mdata = WideDataset(4000, 308);
+    RandomForest forest;
+    RandomForestOptions fopts;
+    fopts.num_trees = 30;
+    XFAIR_CHECK(forest.Fit(mdata, fopts).ok());
+    auto batch = [&] {
+      benchmark::DoNotOptimize(forest.PredictProbaBatch(mdata.x()));
+    };
     std::string monitor_json;
     {
-      Dataset mdata = WideDataset(4000, 308);
-      RandomForest forest;
-      RandomForestOptions fopts;
-      fopts.num_trees = 30;
-      XFAIR_CHECK(forest.Fit(mdata, fopts).ok());
       obs::MonitorOptions mopts;
       mopts.window = 512;
       obs::FairnessMonitor monitor("bench/obs_overhead", mopts);
-      auto batch = [&] {
-        benchmark::DoNotOptimize(forest.PredictProbaBatch(mdata.x()));
-      };
       SetParallelThreads(1);
       obs::SetMonitoringEnabled(false);
       const double off_ms = bench_json_internal::TimeMs(batch, 5);
@@ -302,6 +306,97 @@ void PrintOnce() {
       monitor_json = buf;
     }
 
+    // Flight-recorder and event-log idle overhead: the same flat-tree
+    // batch with the recorder (then the event log) enabled vs both off.
+    // "Idle" = the sink is armed and retaining, nothing is drained or
+    // dumped. The two *_idle_overhead_pct fields are gated absolutely by
+    // bench_compare.py (--max-overhead-pct); the nested objects add
+    // informational on/off timings for the span-dense fairness-SHAP
+    // batch and worst-slice-search workloads from PRs 8/9.
+    std::string obs_extra;
+    {
+      Dataset credit = CreditGen().Generate(1024, 313);
+      DecisionTree ctree;
+      DecisionTreeOptions copts;
+      copts.max_depth = 6;
+      XFAIR_CHECK(ctree.Fit(credit, copts).ok());
+      std::vector<size_t> all(credit.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      auto fshap = [&] {
+        benchmark::DoNotOptimize(
+            FairnessShapBatch(ctree, credit, all, {}));
+      };
+      SliceSearchOptions sopts;
+      sopts.max_conditions = 2;
+      auto ssearch = [&] {
+        benchmark::DoNotOptimize(WorstSliceSearch(ctree, credit, sopts));
+      };
+      const auto once = [&](const std::function<void()>& fn) {
+        return bench_json_internal::TimeMs(fn, 3);
+      };
+      SetParallelThreads(1);
+      // Interleave the off / recorder-on / eventlog-on states and keep
+      // the per-state minimum over 25 bracketed rounds of best-of-3
+      // samples (~8s wall: longer than the CPU-contention bursts a
+      // shared host throws at this container, so every state gets
+      // quiet-window samples). Scheduler noise is strictly additive, so
+      // floor-vs-floor is the estimator of the sinks' intrinsic cost —
+      // which is what an absolute 2% budget has to bound; sequential
+      // on/off blocks or per-round ratio medians both swing several
+      // percent run to run at this workload scale.
+      double batch_off = 1e300, fs_off = 1e300, ss_off = 1e300;
+      double batch_rec = 1e300, fs_rec = 1e300, ss_rec = 1e300;
+      double batch_ev = 1e300, fs_ev = 1e300, ss_ev = 1e300;
+      const auto pct = [](double off, double on) {
+        return off > 0.0 ? 100.0 * (on / off - 1.0) : 0.0;
+      };
+      // Host-level CPU steal on a single-vCPU guest can outlast one
+      // sampling pass, so the floors carry across up to three passes —
+      // they only ever settle downward toward the intrinsic cost. A
+      // sink whose true cost exceeded the budget would read high on
+      // every pass, so the early exit cannot mask a real regression.
+      double rec_pct = 0.0, ev_pct = 0.0;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        for (int rep = 0; rep < 25; ++rep) {
+          batch_off = std::min(batch_off, once(batch));
+          fs_off = std::min(fs_off, once(fshap));
+          ss_off = std::min(ss_off, once(ssearch));
+          obs::SetRecorderEnabled(true);
+          batch_rec = std::min(batch_rec, once(batch));
+          fs_rec = std::min(fs_rec, once(fshap));
+          ss_rec = std::min(ss_rec, once(ssearch));
+          obs::SetRecorderEnabled(false);
+          obs::SetEventLogEnabled(true);
+          batch_ev = std::min(batch_ev, once(batch));
+          fs_ev = std::min(fs_ev, once(fshap));
+          ss_ev = std::min(ss_ev, once(ssearch));
+          obs::SetEventLogEnabled(false);
+          batch_off = std::min(batch_off, once(batch));
+        }
+        rec_pct = pct(batch_off, batch_rec);
+        ev_pct = pct(batch_off, batch_ev);
+        if (std::max(rec_pct, ev_pct) <= 1.0) break;
+      }
+      obs::ResetRecorder();
+      obs::ResetEventLog();
+      SetParallelThreads(0);
+      char buf[640];
+      std::snprintf(
+          buf, sizeof(buf),
+          "  \"recorder_idle_overhead_pct\": %.1f,\n"
+          "  \"eventlog_idle_overhead_pct\": %.1f,\n"
+          "  \"recorder\": {\"off_ms\": %.3f, \"on_ms\": %.3f, "
+          "\"fairness_shap_off_ms\": %.3f, \"fairness_shap_on_ms\": %.3f, "
+          "\"slice_search_off_ms\": %.3f, \"slice_search_on_ms\": %.3f},\n"
+          "  \"eventlog\": {\"off_ms\": %.3f, \"on_ms\": %.3f, "
+          "\"fairness_shap_off_ms\": %.3f, \"fairness_shap_on_ms\": %.3f, "
+          "\"slice_search_off_ms\": %.3f, \"slice_search_on_ms\": %.3f},\n",
+          rec_pct, ev_pct, batch_off,
+          batch_rec, fs_off, fs_rec, ss_off, ss_rec, batch_off, batch_ev,
+          fs_off, fs_ev, ss_off, ss_ev);
+      obs_extra = buf;
+    }
+
     RecordAlgoSpeedup(
         "obs_overhead",
         [&] {
@@ -310,7 +405,7 @@ void PrintOnce() {
           obs::SetTracingEnabled(false);
           obs::FlushSpans();  // Drain so buffers never grow unboundedly.
         },
-        workload, /*repeats=*/5, monitor_json);
+        workload, /*repeats=*/5, monitor_json + obs_extra);
   }
 
   // e. Dense kernels vs the pre-kernel per-element checked-At loops.

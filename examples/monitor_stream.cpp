@@ -1,19 +1,23 @@
 // Live fairness monitoring: replay synthetic loan traffic through a
 // trained model with a FairnessMonitor attached, inject a bias shift
-// mid-stream, and watch the drift detectors raise alarms.
+// mid-stream, and watch the drift detectors raise alarms — each alarm
+// dumping a diagnostic bundle (trailing flight-recorder trace, monitor
+// snapshot, counters, event log, provenance) via the alarm hook bus.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/example_monitor_stream [--events N] [--shift S]
-//       [--window W] [--batch B]
+//       [--window W] [--batch B] [--bundle-dir DIR]
 //
 // The stream is deterministic: the same arguments produce the same
-// events, the same windowed gaps, and the same alarm sequence numbers at
-// any XFAIR_THREADS setting. Built with -DXFAIR_OBS=OFF the replay still
-// runs but produces zero monitoring output and writes no artifacts.
+// events, the same windowed gaps, the same alarm sequence numbers, and
+// the same event log bytes at any XFAIR_THREADS setting. Built with
+// -DXFAIR_OBS=OFF the replay still runs but produces zero monitoring
+// output and writes no artifacts — and no bundle directory.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/data/generators.h"
 #include "src/model/logistic_regression.h"
@@ -26,7 +30,12 @@ int main(int argc, char** argv) {
   size_t shift_at = 2048; // First event drawn from the shifted world.
   size_t window = 512;    // Monitor sliding-window capacity.
   size_t batch = 64;      // Scoring batch (one drain per batch).
+  std::string bundle_dir = "monitor_stream_bundles";
   for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--bundle-dir") == 0) {
+      bundle_dir = argv[i + 1];
+      continue;
+    }
     const size_t v = static_cast<size_t>(std::atol(argv[i + 1]));
     if (std::strcmp(argv[i], "--events") == 0) events = v;
     if (std::strcmp(argv[i], "--shift") == 0) shift_at = v;
@@ -72,6 +81,20 @@ int main(int argc, char** argv) {
   const bool was_monitoring = obs::MonitoringEnabled();
   obs::SetMonitoringEnabled(true);
 
+  // Arm the always-on sinks the way an audit deployment would: the
+  // flight recorder keeps the trailing spans, the event log records
+  // lifecycle events, and each drift alarm dumps a diagnostic bundle.
+  // All three are no-ops under -DXFAIR_OBS=OFF: no bundle directory is
+  // ever created.
+  obs::SetRecorderEnabled(true);
+  obs::SetEventLogEnabled(true);
+  obs::BundleOptions bopts;
+  bopts.directory = bundle_dir;
+  bopts.max_bundles = 2;
+  obs::InstallBundleDumpOnAlarm(monitor, bopts);
+  obs::SetActiveProvenance(
+      "{\"method\": \"monitor_stream\", \"seed\": 7}");
+
   if (obs::MonitoringCompiledIn()) {
     std::printf("streaming %zu events (bias shift at %zu, window %zu, "
                 "batch %zu)\n",
@@ -105,6 +128,8 @@ int main(int argc, char** argv) {
   }
 
   obs::SetMonitoringEnabled(was_monitoring);
+  obs::SetRecorderEnabled(false);
+  obs::SetEventLogEnabled(false);
   if (!obs::MonitoringCompiledIn()) return 0;
 
   // 4. Final state: cumulative aggregates and the (post-shift) window.
@@ -119,6 +144,21 @@ int main(int argc, char** argv) {
               wm.calibration_gap, wm.events,
               static_cast<unsigned long long>(wm.first_seq),
               static_cast<unsigned long long>(wm.last_seq));
+
+  // Always-on sink summary: counts only — record counts and alarm/bundle
+  // tallies are deterministic at any XFAIR_THREADS, wall-clock latencies
+  // are not.
+  const auto logged = obs::SnapshotEvents();
+  size_t alarm_events = 0, bundle_events = 0;
+  for (const auto& e : logged) {
+    if (e.event == "drift_alarm") ++alarm_events;
+    if (e.event == "bundle_dumped") ++bundle_events;
+  }
+  std::printf("event log: %zu records (%zu drift alarms), %llu dropped\n",
+              logged.size(), alarm_events,
+              static_cast<unsigned long long>(obs::EventsDropped()));
+  std::printf("bundles: %zu dumped under %s\n", bundle_events,
+              bundle_dir.c_str());
 
   // 5. Exposition artifacts: Prometheus text + JSON snapshot.
   if (Status st = obs::WriteTextFile("monitor_stream.prom",

@@ -1314,6 +1314,7 @@ void TreeShapBatchInto(const DecisionTree& tree, const Matrix& xs,
                        Matrix* phi, Vector* base_values) {
   XFAIR_CHECK_MSG(tree.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/batch");
+  XFAIR_LATENCY_NS("latency/tree_shap_batch_ns");
   CountBatch(xs.rows());
   PathDependentBatch(ModelFor(tree), BatchMode::kTree, 1.0, 0.0, xs, phi,
                      base_values);
@@ -1323,6 +1324,7 @@ void TreeShapBatchInto(const RandomForest& forest, const Matrix& xs,
                        Matrix* phi, Vector* base_values) {
   XFAIR_CHECK_MSG(forest.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/batch");
+  XFAIR_LATENCY_NS("latency/tree_shap_batch_ns");
   CountBatch(xs.rows());
   const ShapModelPtr model = ModelFor(forest);
   const double inv = 1.0 / static_cast<double>(model->trees.size());
@@ -1335,6 +1337,7 @@ void TreeShapBatchMarginInto(const GradientBoostedTrees& gbm,
                              Vector* base_values) {
   XFAIR_CHECK_MSG(gbm.fitted(), "model not fitted");
   XFAIR_SPAN("tree_shap/batch");
+  XFAIR_LATENCY_NS("latency/tree_shap_batch_ns");
   CountBatch(xs.rows());
   PathDependentBatch(ModelFor(gbm), BatchMode::kGbmMargin,
                      gbm.learning_rate(), gbm.bias(), xs, phi, base_values);

@@ -23,6 +23,9 @@ Status DecisionTree::Fit(const Dataset& data,
                          const Vector& instance_weights) {
   XFAIR_SPAN("model/fit/decision_tree");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "decision_tree"},
+               {"rows", std::to_string(data.size())}});
   if (!instance_weights.empty() && instance_weights.size() != data.size()) {
     return Status::InvalidArgument("instance_weights size mismatch");
   }
@@ -145,6 +148,7 @@ double DecisionTree::PredictProbaRow(const double* row, size_t dim) const {
 Vector DecisionTree::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
+  XFAIR_LATENCY_NS("latency/predict_batch/decision_tree");
   Vector out(x.rows());
   // Chunk-granular dispatch: each out[i] is an independent pure function
   // of row i (no reduction), so chunking is thread-count invariant, and

@@ -113,6 +113,8 @@ Status GradientBoostedTrees::Fit(const Dataset& data,
   XFAIR_SPAN("model/fit/gbm");
   const size_t n = data.size();
   if (n == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "gbm"}, {"rows", std::to_string(n)}});
   if (options.num_rounds == 0) {
     return Status::InvalidArgument("num_rounds must be positive");
   }
@@ -173,6 +175,7 @@ double GradientBoostedTrees::PredictProba(const Vector& x) const {
 Vector GradientBoostedTrees::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
+  XFAIR_LATENCY_NS("latency/predict_batch/gbm");
   XFAIR_COUNTER_ADD("flat_tree/batch_rows", x.rows());
   Vector out(x.rows());
   ParallelFor(0, x.rows(), [&](size_t i) {

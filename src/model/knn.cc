@@ -11,6 +11,8 @@ namespace xfair {
 Status KnnClassifier::Fit(const Dataset& data) {
   XFAIR_SPAN("model/fit/knn");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "knn"}, {"rows", std::to_string(data.size())}});
   if (k_ == 0) return Status::InvalidArgument("k must be positive");
   if (k_ > data.size()) {
     return Status::InvalidArgument("k exceeds training-set size");
@@ -66,6 +68,7 @@ double KnnClassifier::PredictProba(const Vector& x) const {
 Vector KnnClassifier::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.cols() == data_.num_features());
+  XFAIR_LATENCY_NS("latency/predict_batch/knn");
   Vector out(x.rows());
   ParallelFor(0, x.rows(),
               [&](size_t i) { out[i] = ProbaFromRow(x.RowPtr(i)); });

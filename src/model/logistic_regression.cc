@@ -17,6 +17,8 @@ Status LogisticRegression::Fit(const Dataset& data,
   const size_t n = data.size();
   const size_t d = data.num_features();
   if (n == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "logistic_regression"}, {"rows", std::to_string(n)}});
   if (!instance_weights.empty() && instance_weights.size() != n) {
     return Status::InvalidArgument("instance_weights size mismatch");
   }
@@ -101,6 +103,7 @@ double LogisticRegression::PredictProba(const Vector& x) const {
 Vector LogisticRegression::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.cols() == weights_.size());
+  XFAIR_LATENCY_NS("latency/predict_batch/logistic_regression");
   const size_t d = weights_.size();
   Vector out(x.rows());
   // Blocked Gemv + fused sigmoid per chunk. Each row's score is the

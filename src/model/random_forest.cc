@@ -11,6 +11,9 @@ Status RandomForest::Fit(const Dataset& data,
                          const RandomForestOptions& options) {
   XFAIR_SPAN("model/fit/random_forest");
   if (data.size() == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "random_forest"},
+               {"rows", std::to_string(data.size())}});
   if (options.num_trees == 0)
     return Status::InvalidArgument("num_trees must be positive");
   trees_.clear();
@@ -59,6 +62,7 @@ double RandomForest::PredictProba(const Vector& x) const {
 Vector RandomForest::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted(), "model not fitted");
   XFAIR_CHECK(flat_.max_feature() < static_cast<int>(x.cols()));
+  XFAIR_LATENCY_NS("latency/predict_batch/random_forest");
   XFAIR_COUNTER_ADD("flat_tree/batch_rows", x.rows());
   Vector out(x.rows());
   ParallelFor(0, x.rows(),

@@ -17,6 +17,8 @@ Status SoftmaxRegression::Fit(const Matrix& x,
   const size_t n = x.rows();
   const size_t d = x.cols();
   if (n == 0) return Status::InvalidArgument("empty training set");
+  XFAIR_EVENT(kInfo, "model", "fit",
+              {{"model", "softmax_regression"}, {"rows", std::to_string(n)}});
   if (labels.size() != n) {
     return Status::InvalidArgument("labels size mismatch");
   }
@@ -119,6 +121,7 @@ int SoftmaxRegression::Predict(const Vector& x) const {
 Matrix SoftmaxRegression::PredictProbaBatch(const Matrix& x) const {
   XFAIR_CHECK_MSG(fitted_, "model not fitted");
   XFAIR_CHECK(x.cols() == weights_.cols());
+  XFAIR_LATENCY_NS("latency/predict_batch/softmax_regression");
   Matrix out(x.rows(), num_classes_);
   ParallelFor(0, x.rows(),
               [&](size_t i) { ProbaFromRow(x.RowPtr(i), out.RowPtr(i)); });

@@ -58,8 +58,8 @@ double Histogram::mean() const {
                 : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
-std::array<uint64_t, Histogram::kBuckets> Histogram::BucketCounts() const {
-  std::array<uint64_t, kBuckets> out{};
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(kBuckets);
   for (size_t i = 0; i < kBuckets; ++i) {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
@@ -73,32 +73,47 @@ void Histogram::Reset() {
 }
 
 double HistogramQuantile(const HistogramSnapshot& h, double q) {
-  if (h.count == 0) return 0.0;
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
   const double target = q * static_cast<double>(h.count);
   double cum = 0.0;
-  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
     if (h.buckets[b] == 0) continue;
     const double cb = static_cast<double>(h.buckets[b]);
     if (cum + cb < target) {
       cum += cb;
       continue;
     }
-    if (b == 0) return 0.0;
-    // Bucket b holds values with bit width b: [2^(b-1), 2^b).
-    const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
-    const double hi = std::ldexp(1.0, static_cast<int>(b));
+    const uint64_t width = Histogram::BucketWidth(b);
+    const double lo = static_cast<double>(Histogram::BucketLow(b));
+    if (width == 1) return lo;  // Exact bucket: the recorded value itself.
     const double frac =
         cb == 0.0 ? 0.0 : std::min(1.0, std::max(0.0, (target - cum) / cb));
-    return lo + frac * (hi - lo);
+    return lo + frac * static_cast<double>(width);
   }
   // All mass consumed (q == 1 with rounding): the top occupied bucket.
-  for (size_t b = Histogram::kBuckets; b-- > 0;) {
+  for (size_t b = h.buckets.size(); b-- > 0;) {
     if (h.buckets[b] != 0) {
-      return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const uint64_t width = Histogram::BucketWidth(b);
+      return static_cast<double>(Histogram::BucketLow(b)) +
+             (width == 1 ? 0.0 : static_cast<double>(width));
     }
   }
   return 0.0;
+}
+
+std::array<uint64_t, 65> LegacyPowerOfTwoBuckets(const HistogramSnapshot& h) {
+  std::array<uint64_t, 65> out{};
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] == 0) continue;
+    const uint64_t low = Histogram::BucketLow(b);
+    // Every value in a log-linear bucket shares low's bit width (the
+    // bucket never straddles an octave edge), so the fold is exact.
+    const size_t w =
+        low == 0 ? 0 : static_cast<size_t>(64 - __builtin_clzll(low));
+    out[w] += h.buckets[b];
+  }
+  return out;
 }
 
 Counter& GetCounter(std::string_view name) {

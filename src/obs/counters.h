@@ -9,9 +9,14 @@
 //
 //   XFAIR_COUNTER_ADD("kdtree/nodes_visited", visited);   // from obs.h
 //
-// Histograms bucket observations by power of two (bucket i holds values
-// v with bit_width(v) == i), which is enough resolution for "how many
-// nodes did a query visit" distributions at near-counter cost.
+// Histograms use HDR-style log-linear buckets: each power-of-two octave
+// is subdivided into 64 linear sub-buckets, so every recorded value is
+// reconstructible to within 1/64 (~1.6%) relative error — values below
+// 128 are stored exactly — at the same near-counter cost as the old
+// power-of-two layout (one bit-scan + three relaxed RMWs per Observe).
+// That resolution makes the p50/p95/p99/p999 latency quantiles in
+// CountersToJson and the Prometheus exposition meaningful, not
+// octave-wide guesses.
 //
 // Snapshots sort by name, so exports are deterministic for a given set
 // of counter values regardless of creation order.
@@ -21,6 +26,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -46,16 +52,49 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-/// A named histogram over uint64 observations with power-of-two buckets:
-/// bucket i counts values whose bit width is i (bucket 0 is exactly 0).
+/// A named histogram over uint64 observations with log-linear (HDR-style)
+/// buckets: 64 linear sub-buckets per power-of-two octave.
+///
+/// Layout: values below 64 land in their own bucket (index == value).
+/// A larger value with bit width w >= 7 is shifted down to its top seven
+/// bits (a "mantissa" in [64, 128)) and indexed as
+///
+///   bucket = (w - 7) * 64 + (v >> (w - 7))
+///
+/// so bucket width doubles per octave while staying <= low/64. Values in
+/// [64, 128) have shift 0 and are therefore also exact; the first lossy
+/// bucket starts at 128 with width 2.
 class Histogram {
  public:
-  static constexpr size_t kBuckets = 65;
+  static constexpr size_t kSubBuckets = 64;
+  /// 64 exact small-value buckets + 58 octaves (bit widths 7..64) of 64.
+  static constexpr size_t kBuckets = kSubBuckets + 58 * kSubBuckets;
+
+  /// Bucket index of a value (see layout above).
+  static constexpr size_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<size_t>(v);
+    const unsigned w = 64u - static_cast<unsigned>(__builtin_clzll(v));
+    return static_cast<size_t>(w - 7) * kSubBuckets +
+           static_cast<size_t>(v >> (w - 7));
+  }
+
+  /// Smallest value mapping to bucket `b` (inclusive lower edge).
+  static constexpr uint64_t BucketLow(size_t b) {
+    if (b < 2 * kSubBuckets) return static_cast<uint64_t>(b);
+    const unsigned octave = static_cast<unsigned>(b / kSubBuckets - 1);
+    return static_cast<uint64_t>(kSubBuckets + b % kSubBuckets) << octave;
+  }
+
+  /// Number of distinct values mapping to bucket `b` (1 below 128).
+  static constexpr uint64_t BucketWidth(size_t b) {
+    return b < 2 * kSubBuckets
+               ? uint64_t{1}
+               : uint64_t{1} << static_cast<unsigned>(b / kSubBuckets - 1);
+  }
 
   /// Relaxed atomic observation; safe from any thread.
   void Observe(uint64_t v) {
-    const size_t b = v == 0 ? 0 : static_cast<size_t>(64 - __builtin_clzll(v));
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
@@ -64,8 +103,8 @@ class Histogram {
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Mean observation; 0 when empty.
   double mean() const;
-  /// Per-bucket counts, index = bit width of the observed value.
-  std::array<uint64_t, kBuckets> BucketCounts() const;
+  /// Per-bucket counts in the log-linear layout (kBuckets entries).
+  std::vector<uint64_t> BucketCounts() const;
   void Reset();
   const std::string& name() const { return name_; }
 
@@ -77,6 +116,28 @@ class Histogram {
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+};
+
+/// RAII latency sampler: observes the elapsed steady-clock nanoseconds
+/// of its scope into a histogram at destruction. Two clock reads per
+/// scope; use via XFAIR_LATENCY_NS (obs.h), which compiles away under
+/// -DXFAIR_OBS=OFF.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h)
+      : h_(&h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatency() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    h_->Observe(ns < 0 ? 0u : static_cast<uint64_t>(ns));
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Interns and returns the counter named `name`. The reference stays
@@ -97,16 +158,22 @@ struct HistogramSnapshot {
   std::string name;
   uint64_t count = 0;
   uint64_t sum = 0;
-  std::array<uint64_t, Histogram::kBuckets> buckets{};
+  std::vector<uint64_t> buckets;  ///< Histogram::kBuckets entries.
 };
 
-/// Quantile estimate from a power-of-two histogram snapshot: finds the
-/// bucket holding rank q * count and interpolates linearly inside its
-/// value range ([2^(i-1), 2^i) for bucket i >= 1; bucket 0 is exactly
-/// 0). Within one bucket the estimate is off by at most the bucket
-/// width, which is the resolution these histograms promise. Returns 0
-/// for an empty histogram; q is clamped to [0, 1].
+/// Quantile estimate from a log-linear histogram snapshot: finds the
+/// bucket holding rank q * count. Exact (width-1) buckets — every value
+/// below 128 — return their value outright; wider buckets interpolate
+/// linearly inside [low, low + width), bounding the error by the bucket
+/// width, i.e. a relative error of at most 1/64 (~1.6%). Returns 0 for
+/// an empty histogram; q is clamped to [0, 1].
 double HistogramQuantile(const HistogramSnapshot& h, double q);
+
+/// Deprecation shim for one PR (remove after PR 10 consumers migrate):
+/// folds the log-linear buckets into the pre-PR-10 65-bucket
+/// power-of-two layout, where bucket i counted values with bit width i.
+/// Exact — every log-linear bucket lies entirely inside one octave.
+std::array<uint64_t, 65> LegacyPowerOfTwoBuckets(const HistogramSnapshot& h);
 
 /// All registered counters, sorted by name (deterministic export order).
 std::vector<CounterSnapshot> SnapshotCounters();

@@ -125,7 +125,8 @@ std::string CountersToJson() {
            ", \"mean\": " + FormatMs(mean) +
            ", \"p50\": " + FormatMs(HistogramQuantile(h, 0.50)) +
            ", \"p95\": " + FormatMs(HistogramQuantile(h, 0.95)) +
-           ", \"p99\": " + FormatMs(HistogramQuantile(h, 0.99)) + "}";
+           ", \"p99\": " + FormatMs(HistogramQuantile(h, 0.99)) +
+           ", \"p999\": " + FormatMs(HistogramQuantile(h, 0.999)) + "}";
   }
   out += "\n  }\n}\n";
   return out;

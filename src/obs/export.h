@@ -35,7 +35,8 @@ Status WriteChromeTrace(const std::string& path,
                         const std::vector<SpanRecord>& spans);
 
 /// JSON object with every registered counter value and histogram summary
-/// (count/sum/mean), keys sorted by name.
+/// (count/sum/mean plus log-linear p50/p95/p99/p999 estimates), keys
+/// sorted by name.
 std::string CountersToJson();
 
 /// JSON fragment (an array) for a stage breakdown; used by bench_json.h

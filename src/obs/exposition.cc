@@ -48,15 +48,16 @@ std::string RenderPrometheusText() {
   }
 
   const auto histograms = SnapshotHistograms();
-  out += "# HELP xfair_histogram Power-of-two xfair histograms "
-         "(quantiles are bucket-interpolated estimates).\n";
+  out += "# HELP xfair_histogram Log-linear xfair histograms "
+         "(quantiles are bucket estimates, <=1/64 relative error).\n";
   out += "# TYPE xfair_histogram summary\n";
   for (const HistogramSnapshot& h : histograms) {
     const std::string name = LabelEscape(h.name);
     for (const auto& [q, label] :
          {std::pair<double, const char*>{0.50, "0.5"},
           {0.95, "0.95"},
-          {0.99, "0.99"}}) {
+          {0.99, "0.99"},
+          {0.999, "0.999"}}) {
       out += "xfair_histogram{name=\"" + name + "\",quantile=\"" + label +
              "\"} " + Num(HistogramQuantile(h, q)) + "\n";
     }

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "src/obs/eventlog.h"
+
 namespace xfair::obs {
 
 namespace detail {
@@ -227,6 +229,7 @@ void FairnessMonitor::UpdateDetectors(uint64_t seq) {
   const WindowedMetrics wm = Windowed();
   const double values[3] = {wm.demographic_parity_diff,
                             wm.equalized_odds_diff, wm.calibration_gap};
+  const size_t first_new = alarms_.size();
   for (size_t i = 0; i < detectors_.size(); ++i) {
     Detector& d = detectors_[i];
     const double ph =
@@ -243,6 +246,36 @@ void FairnessMonitor::UpdateDetectors(uint64_t seq) {
       d.cusum = {};
     }
   }
+  if (first_new == alarms_.size()) return;
+  // Fan each fresh alarm out: a lifecycle event (deterministic fields —
+  // no clocks) and the hook bus. Hooks run here, on the drain thread,
+  // while the trailing diagnostic evidence is still in the rings.
+  std::vector<AlarmHook> hooks;
+  {
+    std::lock_guard<std::mutex> guard(hooks_mutex_);
+    hooks = hooks_;
+  }
+  for (size_t a = first_new; a < alarms_.size(); ++a) {
+    const DriftAlarm& alarm = alarms_[a];
+    EmitEvent(Severity::kWarn, "monitor", "drift_alarm",
+              {{"detector", alarm.detector},
+               {"metric", alarm.metric},
+               {"monitor", name_},
+               {"seq", std::to_string(alarm.seq)},
+               {"value", FormatDouble(alarm.value)}});
+    for (const AlarmHook& hook : hooks) hook(*this, alarm);
+  }
+}
+
+size_t FairnessMonitor::AddAlarmHook(AlarmHook hook) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  hooks_.push_back(std::move(hook));
+  return hooks_.size() - 1;
+}
+
+void FairnessMonitor::ClearAlarmHooks() {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  hooks_.clear();
 }
 
 WindowedMetrics FairnessMonitor::Windowed() const {
@@ -386,6 +419,7 @@ std::string FairnessMonitor::SnapshotJson() const {
     out += "}";
   }
   out += first ? "},\n" : "\n  },\n";
+  out += "  \"monitor\": \"" + name_ + "\",\n";
   const WindowedMetrics wm = Windowed();
   out += "  \"window\": {";
   out += "\"calibration_gap\": " + FormatDouble(wm.calibration_gap);

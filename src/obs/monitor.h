@@ -44,6 +44,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -217,6 +218,22 @@ class FairnessMonitor {
     return aggregates_;
   }
   const std::vector<DriftAlarm>& alarms() const { return alarms_; }
+
+  /// Alarm hook bus: every hook runs synchronously on the draining
+  /// thread right after a detector appends a DriftAlarm — the moment the
+  /// trailing evidence (flight recorder, event log, counters) is still
+  /// hot. The recorder's InstallBundleDumpOnAlarm registers its bundle
+  /// dump through this. Hooks must not call back into this monitor's
+  /// Drain/Ingest. Never invoked under -DXFAIR_OBS=OFF (Drain is a
+  /// no-op there).
+  using AlarmHook =
+      std::function<void(const FairnessMonitor&, const DriftAlarm&)>;
+
+  /// Registers a hook; returns its id. Thread-safe.
+  size_t AddAlarmHook(AlarmHook hook);
+
+  /// Removes every registered hook.
+  void ClearAlarmHooks();
   uint64_t events_processed() const { return events_processed_; }
   /// Events dropped for an out-of-range group id.
   uint64_t events_dropped() const { return events_dropped_; }
@@ -255,6 +272,11 @@ class FairnessMonitor {
   // Ingestion side: per-thread chunked buffers (trace.cc design).
   std::mutex buffers_mutex_;
   std::vector<std::shared_ptr<EventBuffer>> buffers_;
+
+  // Alarm hook bus; the mutex guards registration only (invocation
+  // copies the list and runs on the drain thread).
+  std::mutex hooks_mutex_;
+  std::vector<AlarmHook> hooks_;
 
   // Processing side: touched only under the Drain contract.
   std::vector<MonitorEvent> ring_;  ///< Capacity options_.window.

@@ -27,9 +27,11 @@
 #define XFAIR_OBS_OBS_H_
 
 #include "src/obs/counters.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/export.h"
 #include "src/obs/exposition.h"
 #include "src/obs/monitor.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 
 #define XFAIR_OBS_CONCAT_INNER(a, b) a##b
@@ -50,12 +52,34 @@
     xfair_counter_.Add(n);                                        \
   } while (0)
 
-/// Records `v` into the power-of-two histogram `name`.
+/// Records `v` into the log-linear histogram `name`.
 #define XFAIR_HISTOGRAM_OBSERVE(name, v)                          \
   do {                                                            \
     static ::xfair::obs::Histogram& xfair_histogram_ =            \
         ::xfair::obs::GetHistogram(name);                         \
     xfair_histogram_.Observe(v);                                  \
+  } while (0)
+
+/// Observes the elapsed nanoseconds of the enclosing scope into the
+/// log-linear histogram `name` (two steady-clock reads per scope; put
+/// it at batch granularity, not inside per-row loops).
+#define XFAIR_LATENCY_NS(name)                                        \
+  static ::xfair::obs::Histogram& XFAIR_OBS_CONCAT(                   \
+      xfair_latency_hist_, __LINE__) = ::xfair::obs::GetHistogram(name); \
+  ::xfair::obs::ScopedLatency XFAIR_OBS_CONCAT(xfair_latency_,        \
+                                               __LINE__)(             \
+      XFAIR_OBS_CONCAT(xfair_latency_hist_, __LINE__))
+
+/// Emits a structured lifecycle event (eventlog.h) with severity
+/// `sev` (kDebug/kInfo/kWarn/kError), a component and event name, and
+/// optional {{"key", value}, ...} fields. Field values are strings the
+/// caller formats. Arguments are not evaluated when the log is off.
+#define XFAIR_EVENT(sev, component, event, ...)                         \
+  do {                                                                  \
+    if (::xfair::obs::EventLogEnabled()) {                              \
+      ::xfair::obs::EmitEvent(::xfair::obs::Severity::sev, (component), \
+                              (event), ##__VA_ARGS__);                  \
+    }                                                                   \
   } while (0)
 
 #else  // XFAIR_OBS_DISABLED
@@ -68,6 +92,12 @@
   } while (0)
 #define XFAIR_HISTOGRAM_OBSERVE(name, v) \
   do {                                   \
+  } while (0)
+#define XFAIR_LATENCY_NS(name) \
+  do {                         \
+  } while (0)
+#define XFAIR_EVENT(sev, component, event, ...) \
+  do {                                          \
   } while (0)
 
 #endif  // XFAIR_OBS_DISABLED

@@ -1,0 +1,129 @@
+// Flight recorder: always-on trailing window of spans + counter deltas,
+// and anomaly-triggered diagnostic bundles.
+//
+// The tracer (trace.h) answers "record everything, export later"; an
+// audit deployment needs the opposite: keep only the *trailing* K spans
+// per thread at near-zero cost, and when a drift detector trips, dump
+// everything relevant — the trailing Chrome trace, the monitor snapshot,
+// the full counter/histogram export, the structured event log, and the
+// active RunReport provenance — into one self-contained bundle directory
+// that an auditor can replay without access to the live process.
+//
+// Recording path: each thread owns a fixed-capacity ring of SpanRecords
+// (steady-clock timestamps, same epoch as the tracer). The owner
+// overwrites the oldest slot and release-publishes a monotone write
+// count; no locks, no allocation after the first span. Span destructors
+// feed the ring whenever RecorderEnabled() — independently of tracing,
+// so the recorder can stay on in production while full tracing stays
+// off.
+//
+// Drain order is deterministic: rings sort by their registration uid and
+// each ring yields its retained records in append order, i.e. keyed by
+// (thread uid, per-thread span seq) — the same discipline as the
+// monitor's ingestion path. SnapshotFlightSpans must not race with span
+// recording (the FlushSpans contract: call between parallel regions).
+//
+// Enabling the recorder snapshots every counter as the delta baseline;
+// RecorderCounterDeltas() reports what advanced since, so a bundle shows
+// "what the process did lately", not lifetime totals.
+//
+// Under -DXFAIR_OBS=OFF spans do not exist, so the recorder compiles to
+// an empty shell: RecorderEnabled() is false, snapshots are empty, and
+// DumpDiagnosticBundle writes nothing and returns OK.
+
+#ifndef XFAIR_OBS_RECORDER_H_
+#define XFAIR_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/counters.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace xfair::obs {
+
+class FairnessMonitor;
+
+/// True when span destructors feed the flight rings (one relaxed load).
+/// Off by default unless the XFAIR_RECORDER environment variable is set
+/// to a nonzero value at first use; always false under -DXFAIR_OBS=OFF.
+bool RecorderEnabled();
+
+/// Enables/disables flight recording. The off->on transition captures
+/// the counter-delta baseline (see RecorderCounterDeltas).
+void SetRecorderEnabled(bool enabled);
+
+/// Per-thread ring capacity (trailing spans kept per thread; default
+/// 4096). Resizes existing rings and discards their contents, so call it
+/// only while no spans are recording (the FlushSpans contract).
+void SetRecorderRingCapacity(size_t capacity);
+
+/// Current per-thread ring capacity.
+size_t RecorderRingCapacity();
+
+/// The retained trailing spans of every thread, in deterministic
+/// (thread uid, per-thread append order) order. Non-destructive. Must
+/// not race with span recording.
+std::vector<SpanRecord> SnapshotFlightSpans();
+
+/// Spans overwritten (lost to the ring bound) since the last reset.
+uint64_t FlightSpansDropped();
+
+/// Counters that advanced since the recorder was last enabled (or since
+/// ResetRecorder), as (name, increment) sorted by name.
+std::vector<CounterSnapshot> RecorderCounterDeltas();
+
+/// Clears every ring, the dropped count, and re-captures the counter
+/// baseline. Must not race with span recording.
+void ResetRecorder();
+
+/// Sets the provenance JSON object embedded in bundles (the active
+/// RunReport's method/seed/dataset fingerprint; "{}" when none).
+/// RunWithReport installs this automatically around each run.
+void SetActiveProvenance(std::string json);
+std::string ActiveProvenanceJson();
+
+/// Writes a diagnostic bundle directory under `directory` and returns
+/// its path via `bundle_dir` (may be null). The bundle contains:
+///
+///   MANIFEST.json       file list + reason + record counts (no clocks)
+///   trace.json          Chrome trace of the trailing flight window
+///   monitor.json        monitor->SnapshotJson() ("{}" if null)
+///   counters.json       full counter/histogram export with quantiles
+///   counter_deltas.json counters advanced since recorder enable
+///   provenance.json     the active RunReport provenance
+///   events.jsonl        the structured event log (snapshot, not drain)
+///
+/// Every file except trace.json (whose timestamps are wall-clock) is
+/// byte-deterministic for identical recorded state. Directory name:
+/// bundle-<NNN>-<reason> with a process-global NNN.
+Status DumpDiagnosticBundle(const std::string& directory,
+                            const FairnessMonitor* monitor,
+                            const std::string& reason,
+                            std::string* bundle_dir = nullptr);
+
+/// Bundle-dump policy for InstallBundleDumpOnAlarm.
+struct BundleOptions {
+  std::string directory = "bundles";
+  /// Stop dumping after this many bundles (an alarm storm must not fill
+  /// the disk); 0 means unlimited.
+  size_t max_bundles = 4;
+};
+
+/// Installs an alarm hook on `monitor` that dumps a diagnostic bundle
+/// for each drift alarm (reason "<metric>-<detector>"), honoring
+/// `options.max_bundles`. Returns the hook id from AddAlarmHook.
+size_t InstallBundleDumpOnAlarm(FairnessMonitor& monitor,
+                                BundleOptions options = {});
+
+namespace detail {
+/// Called by Span::~Span when RecorderEnabled(): appends to the calling
+/// thread's flight ring.
+void RecordFlightSpan(const SpanRecord& rec);
+}  // namespace detail
+
+}  // namespace xfair::obs
+
+#endif  // XFAIR_OBS_RECORDER_H_

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <map>
 
+#include "src/obs/eventlog.h"
 #include "src/obs/monitor.h"
+#include "src/obs/recorder.h"
 
 namespace xfair::obs {
 namespace {
@@ -83,6 +85,21 @@ RunReport RunWithReport(const ApproachDescriptor& descriptor,
                   descriptor.explanation_type + "/" +
                   descriptor.goals.ToString();
 
+  // Publish this run as the active provenance, so a diagnostic bundle
+  // dumped during (or after) the run can prove which method, seed, and
+  // dataset produced the decisions under audit. Stays installed after
+  // the run: "most recent run" is exactly what an alarm wants to see.
+  SetActiveProvenance("{\n  \"citation\": \"" + JsonEscape(report.citation) +
+                      "\",\n  \"config\": \"" + JsonEscape(report.config) +
+                      "\",\n  \"dataset_fingerprint\": \"" +
+                      report.dataset_fingerprint + "\",\n  \"method\": \"" +
+                      JsonEscape(report.method) + "\",\n  \"seed\": " +
+                      std::to_string(report.seed) + "\n}");
+  EmitEvent(Severity::kInfo, "run_report", "run_start",
+            {{"citation", report.citation},
+             {"method", report.method},
+             {"seed", std::to_string(report.seed)}});
+
   const std::map<std::string, uint64_t> before = [] {
     std::map<std::string, uint64_t> m;
     for (const CounterSnapshot& c : SnapshotCounters()) m[c.name] = c.value;
@@ -132,6 +149,8 @@ RunReport RunWithReport(const ApproachDescriptor& descriptor,
     report.fairness_telemetry = monitor.SnapshotJson();
   }
 #endif
+  EmitEvent(Severity::kInfo, "run_report", "run_end",
+            {{"method", report.method}, {"summary", report.summary}});
   return report;
 }
 

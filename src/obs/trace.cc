@@ -1,5 +1,7 @@
 #include "src/obs/trace.h"
 
+#include "src/obs/recorder.h"
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -121,9 +123,12 @@ std::vector<SpanRecord> FlushSpans() {
 }
 
 Span::Span(const char* name) : name_(name) {
-  if (!TracingEnabled()) return;
+  const bool trace = TracingEnabled();
+  const bool flight = RecorderEnabled();
+  if (!trace && !flight) return;
   ThreadBuffer& buf = LocalBuffer();
-  active_ = true;
+  active_ = trace;
+  to_flight_ = flight;
   id_ = buf.next_id++;
   parent_id_ = buf.open_stack.empty() ? 0 : buf.open_stack.back();
   depth_ = static_cast<uint32_t>(buf.open_stack.size());
@@ -132,14 +137,17 @@ Span::Span(const char* name) : name_(name) {
 }
 
 Span::~Span() {
-  if (!active_) return;
+  if (!active_ && !to_flight_) return;
   const uint64_t end = NowNs();
   ThreadBuffer& buf = LocalBuffer();
   // Defensive: the stack top must be this span (RAII guarantees LIFO).
   if (!buf.open_stack.empty() && buf.open_stack.back() == id_) {
     buf.open_stack.pop_back();
   }
-  buf.Append({name_, start_ns_, end, buf.ordinal, depth_, id_, parent_id_});
+  const SpanRecord rec{name_,  start_ns_, end,       buf.ordinal,
+                       depth_, id_,       parent_id_};
+  if (active_) buf.Append(rec);
+  if (to_flight_) detail::RecordFlightSpan(rec);
 }
 
 }  // namespace xfair::obs

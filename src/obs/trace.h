@@ -58,7 +58,11 @@ void SetTracingEnabled(bool enabled);
 std::vector<SpanRecord> FlushSpans();
 
 /// RAII span. Use via XFAIR_SPAN from obs.h; `name` must be a string
-/// literal (the pointer is stored, not the characters).
+/// literal (the pointer is stored, not the characters). A closing span
+/// is delivered to whichever sinks are live: the tracer's flush buffers
+/// (TracingEnabled) and/or the flight recorder's trailing rings
+/// (RecorderEnabled, see recorder.h) — one record, two destinations, so
+/// the recorder sees exactly what a trace would.
 class Span {
  public:
   explicit Span(const char* name);
@@ -72,7 +76,8 @@ class Span {
   uint64_t id_ = 0;
   uint64_t parent_id_ = 0;
   uint32_t depth_ = 0;
-  bool active_ = false;
+  bool active_ = false;     ///< Record into the tracer's flush buffers.
+  bool to_flight_ = false;  ///< Record into the flight recorder's rings.
 };
 
 }  // namespace xfair::obs

@@ -83,6 +83,7 @@ constexpr size_t kCoalitionTileRows = 4096;
 Vector MaskGapTable(const Model& model, const Dataset& data,
                     const std::vector<size_t>& rows, const Vector& background,
                     size_t d, const size_t count[2]) {
+  XFAIR_SPAN("fairness_shap/mask_table");
   const size_t n = rows.size();
   const size_t num_masks = size_t{1} << d;
   const size_t per_block =
@@ -326,8 +327,12 @@ FairnessShapReport FairnessShapBatch(const Model& model, const Dataset& data,
   XFAIR_CHECK(!slice.empty());
   for (size_t r : slice) XFAIR_CHECK(r < data.size());
   XFAIR_SPAN("fairness_shap/batch");
+  XFAIR_LATENCY_NS("latency/fairness_shap_batch_ns");
   XFAIR_COUNTER_ADD("fairness_shap/batch_calls", 1);
   XFAIR_COUNTER_ADD("fairness_shap/batch_rows", slice.size());
+  XFAIR_EVENT(kInfo, "fairness_shap", "batch",
+              {{"features", std::to_string(d)},
+               {"rows", std::to_string(slice.size())}});
   if (options.mode == FairnessShapMode::kRetrain) {
     // Retraining fits each coalition's model on the slice itself, so the
     // sub-dataset must be materialized; the mask path below never copies.

@@ -99,6 +99,7 @@ LatticeWalkStats LatticeWalk(
     const std::function<void(size_t, const LatticeNode&)>& score,
     const std::function<bool(size_t, const LatticeNode&)>& admit) {
   XFAIR_SPAN("slice_search/lattice_walk");
+  XFAIR_LATENCY_NS("latency/lattice_walk_ns");
   LatticeWalkStats stats;
   const size_t words = index.words();
 
@@ -138,18 +139,27 @@ LatticeWalkStats LatticeWalk(
 
   for (size_t depth = 1; depth <= max_depth && count > 0; ++depth) {
     stats.candidates += count;
+    XFAIR_COUNTER_ADD("slice_search/level_candidates", count);
     begin_level(count);
-    ParallelFor(0, count, [&](size_t ci) { score(ci, node_at(ci, depth)); });
+    {
+      XFAIR_SPAN("slice_search/level_score");
+      ParallelFor(0, count,
+                  [&](size_t ci) { score(ci, node_at(ci, depth)); });
+    }
     // Sequential admit in canonical order; collect the extendable nodes.
     std::vector<size_t> extend;
-    for (size_t ci = 0; ci < count; ++ci) {
-      const LatticeNode node = node_at(ci, depth);
-      const bool grow = admit(ci, node);
-      if (depth < max_depth && grow && node.support >= min_count) {
-        extend.push_back(ci);
+    {
+      XFAIR_SPAN("slice_search/level_admit");
+      for (size_t ci = 0; ci < count; ++ci) {
+        const LatticeNode node = node_at(ci, depth);
+        const bool grow = admit(ci, node);
+        if (depth < max_depth && grow && node.support >= min_count) {
+          extend.push_back(ci);
+        }
       }
     }
     if (depth == max_depth || extend.empty()) break;
+    XFAIR_SPAN("slice_search/level_extend");
 
     // Materialize the children: each extendable node crossed with every
     // frequent single of a strictly later column, in canonical order.
@@ -187,6 +197,7 @@ LatticeWalkStats LatticeWalk(
 WorstSliceReport WorstSliceSearch(const Model& model, const Dataset& data,
                                   const SliceSearchOptions& options) {
   XFAIR_SPAN("slice_search/worst_slice");
+  XFAIR_LATENCY_NS("latency/slice_search_ns");
   WorstSliceReport report;
   const size_t n = data.size();
   if (n == 0) return report;
@@ -206,11 +217,15 @@ WorstSliceReport WorstSliceSearch(const Model& model, const Dataset& data,
   const std::vector<int> yhat = model.PredictBatch(data.x());
   const size_t words = (n + 63) / 64;
   std::vector<uint64_t> hit_bits(words, 0), rel_bits(words, 0);
-  for (size_t i = 0; i < n; ++i) {
-    bool hit = false, relevant = false;
-    MetricIndicators(options.metric, yhat[i], data.label(i), &hit, &relevant);
-    if (hit) hit_bits[i >> 6] |= uint64_t{1} << (i & 63);
-    if (relevant) rel_bits[i >> 6] |= uint64_t{1} << (i & 63);
+  {
+    XFAIR_SPAN("slice_search/pack_indicators");
+    for (size_t i = 0; i < n; ++i) {
+      bool hit = false, relevant = false;
+      MetricIndicators(options.metric, yhat[i], data.label(i), &hit,
+                       &relevant);
+      if (hit) hit_bits[i >> 6] |= uint64_t{1} << (i & 63);
+      if (relevant) rel_bits[i >> 6] |= uint64_t{1} << (i & 63);
+    }
   }
   const size_t total_rel = kernels::PopcountU64(rel_bits.data(), words);
   const size_t total_hit = kernels::PopcountU64(hit_bits.data(), words);
@@ -318,6 +333,11 @@ WorstSliceReport WorstSliceSearch(const Model& model, const Dataset& data,
 
   report.slices_examined = qualifying.size();
   XFAIR_COUNTER_ADD("slice_search/slices_examined", qualifying.size());
+  XFAIR_SPAN("slice_search/rank");
+  XFAIR_EVENT(kInfo, "slice_search", "worst_slice_done",
+              {{"candidates", std::to_string(report.lattice_candidates)},
+               {"qualifying", std::to_string(qualifying.size())},
+               {"rows", std::to_string(n)}});
 
   // Worst first under a total order (badness, then larger support, then
   // lexicographic conditions): deterministic at any thread count and

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "src/core/registry.h"
 #include "src/data/generators.h"
@@ -73,25 +76,72 @@ TEST(Counters, MacroCompilesAndCounts) {
 #endif
 }
 
-TEST(Histograms, PowerOfTwoBuckets) {
-  obs::Histogram& h = GetHistogram("obs_test/hist");
-  h.Reset();
-  h.Observe(0);   // bucket 0
-  h.Observe(1);   // bit width 1
-  h.Observe(7);   // bit width 3
-  h.Observe(8);   // bit width 4
-  EXPECT_EQ(h.count(), 4u);
-  EXPECT_EQ(h.sum(), 16u);
-  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
-  const auto buckets = h.BucketCounts();
-  EXPECT_EQ(buckets[0], 1u);
-  EXPECT_EQ(buckets[1], 1u);
-  EXPECT_EQ(buckets[3], 1u);
-  EXPECT_EQ(buckets[4], 1u);
-  EXPECT_EQ(buckets[2], 0u);
+TEST(Histograms, LogLinearBucketMath) {
+  using obs::Histogram;
+  // Values below 128 are exact: one bucket per value (index == value up
+  // to 127, the zero-shift octave included).
+  for (uint64_t v : {0ull, 1ull, 63ull, 64ull, 100ull, 127ull}) {
+    const size_t b = Histogram::BucketIndex(v);
+    EXPECT_EQ(b, static_cast<size_t>(v));
+    EXPECT_EQ(Histogram::BucketLow(b), v);
+    EXPECT_EQ(Histogram::BucketWidth(b), 1u);
+  }
+  // First lossy octave: [128, 256) in width-2 buckets.
+  EXPECT_EQ(Histogram::BucketIndex(128), Histogram::BucketIndex(129));
+  EXPECT_NE(Histogram::BucketIndex(129), Histogram::BucketIndex(130));
+  EXPECT_EQ(Histogram::BucketLow(Histogram::BucketIndex(128)), 128u);
+  EXPECT_EQ(Histogram::BucketWidth(Histogram::BucketIndex(128)), 2u);
+  // Every value lands inside its bucket, and the bucket width never
+  // exceeds low/64 — the ~1.6% relative-error guarantee.
+  for (uint64_t v : {uint64_t{200}, uint64_t{1} << 20,
+                     (uint64_t{1} << 33) + 12345, uint64_t{1} << 40,
+                     ~uint64_t{0}}) {
+    const size_t b = Histogram::BucketIndex(v);
+    ASSERT_LT(b, Histogram::kBuckets) << v;
+    EXPECT_LE(Histogram::BucketLow(b), v) << v;
+    EXPECT_LE(v - Histogram::BucketLow(b), Histogram::BucketWidth(b) - 1)
+        << v;
+    EXPECT_LE(Histogram::BucketWidth(b) * 64, Histogram::BucketLow(b)) << v;
+  }
 }
 
-TEST(Histograms, QuantilesInterpolateWithinBuckets) {
+TEST(Histograms, LogLinearObserveAndLegacyShim) {
+  obs::Histogram& h = GetHistogram("obs_test/hist");
+  h.Reset();
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(7);
+  h.Observe(8);
+  h.Observe(200);  // Lossy range: bucket [200, 202).
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 216u);
+  EXPECT_DOUBLE_EQ(h.mean(), 43.2);
+  const auto buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), obs::Histogram::kBuckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[7], 1u);
+  EXPECT_EQ(buckets[8], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[obs::Histogram::BucketIndex(200)], 1u);
+
+  // The deprecation shim folds back to the pre-PR-10 power-of-two
+  // layout: bucket i counted values of bit width i.
+  for (const auto& s : obs::SnapshotHistograms()) {
+    if (s.name != "obs_test/hist") continue;
+    const std::array<uint64_t, 65> legacy = obs::LegacyPowerOfTwoBuckets(s);
+    EXPECT_EQ(legacy[0], 1u);  // 0
+    EXPECT_EQ(legacy[1], 1u);  // 1
+    EXPECT_EQ(legacy[3], 1u);  // 7
+    EXPECT_EQ(legacy[4], 1u);  // 8
+    EXPECT_EQ(legacy[8], 1u);  // 200 has bit width 8
+    uint64_t total = 0;
+    for (uint64_t c : legacy) total += c;
+    EXPECT_EQ(total, s.count);
+  }
+}
+
+TEST(Histograms, QuantilesExactBelow128AndInterpolatedAbove) {
   obs::Histogram& h = GetHistogram("obs_test/quantiles");
   h.Reset();
   // Empty histogram: sentinel 0.
@@ -102,28 +152,64 @@ TEST(Histograms, QuantilesInterpolateWithinBuckets) {
       EXPECT_EQ(obs::HistogramQuantile(s, 0.5), 0.0);
     }
   }
-  // 100 observations of 1 land in bucket 1, which spans [1, 2): the
-  // median interpolates to the bucket midpoint.
+  // 100 observations of 1 and 100 of 12: both exact buckets, so the
+  // quantiles return the recorded values themselves (the old
+  // power-of-two layout could only bracket 12 inside [8, 16)).
   for (int i = 0; i < 100; ++i) h.Observe(1);
-  // 100 observations of 12 land in bucket 4, [8, 16).
   for (int i = 0; i < 100; ++i) h.Observe(12);
   for (const auto& s : obs::SnapshotHistograms()) {
     if (s.name != "obs_test/quantiles") continue;
-    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.25), 1.5);
-    // Rank 100 is the last observation of bucket 1: right bucket edge.
-    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.25), 1.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.5), 1.0);
     EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 0.75), 12.0);
-    // q clamps to [0, 1]; q = 1 is the top occupied bucket's edge.
-    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 1.0), 16.0);
-    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 2.0), 16.0);
+    // q clamps to [0, 1]; exact buckets stay exact at the extremes.
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 1.0), 12.0);
+    EXPECT_DOUBLE_EQ(obs::HistogramQuantile(s, 2.0), 12.0);
     EXPECT_GE(obs::HistogramQuantile(s, 0.0), 0.0);
   }
-  // A zero-valued observation resolves to bucket 0, exactly 0.
+  // Above 128 the estimate interpolates inside the bucket: 1000 lives
+  // in [1000, 1008), so the median lands within that window.
   h.Reset();
-  h.Observe(0);
+  for (int i = 0; i < 100; ++i) h.Observe(1000);
   for (const auto& s : obs::SnapshotHistograms()) {
     if (s.name != "obs_test/quantiles") continue;
-    EXPECT_EQ(obs::HistogramQuantile(s, 0.5), 0.0);
+    const double p50 = obs::HistogramQuantile(s, 0.5);
+    EXPECT_GE(p50, 1000.0);
+    EXPECT_LE(p50, 1008.0);
+  }
+}
+
+TEST(Histograms, QuantileErrorBoundVsExactSortedQuantiles) {
+  // The log-linear resolution promise, end to end: against the exact
+  // sorted-array quantile at the same rank, the histogram estimate is
+  // within 1/64 relative error at every probed q (exact below 128).
+  obs::Histogram& h = GetHistogram("obs_test/error_bound");
+  h.Reset();
+  std::vector<uint64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15ull;  // Deterministic xorshift mix.
+  for (int i = 0; i < 5000; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    // Spread across six orders of magnitude, as latencies do.
+    const uint64_t v = state % (uint64_t{1} << (8 + i % 24));
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const auto& s : obs::SnapshotHistograms()) {
+    if (s.name != "obs_test/error_bound") continue;
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+      const double target = q * static_cast<double>(values.size());
+      const size_t rank = std::min(
+          values.size() - 1,
+          static_cast<size_t>(std::max(0.0, std::ceil(target) - 1.0)));
+      const double exact = static_cast<double>(values[rank]);
+      const double est = obs::HistogramQuantile(s, q);
+      // est and exact share a bucket; |est - exact| <= width <= low/64.
+      EXPECT_LE(std::fabs(est - exact), exact / 64.0 + 1e-9)
+          << "q=" << q << " exact=" << exact << " est=" << est;
+    }
   }
 }
 
@@ -134,11 +220,14 @@ TEST(Export, CountersToJsonIncludesHistogramQuantiles) {
   const std::string json = obs::CountersToJson();
   const size_t at = json.find("\"obs_test/json_quantiles\"");
   ASSERT_NE(at, std::string::npos);
-  const std::string entry = json.substr(at, 200);
+  const std::string entry = json.substr(at, 240);
   EXPECT_NE(entry.find("\"p50\":"), std::string::npos);
   EXPECT_NE(entry.find("\"p95\":"), std::string::npos);
   EXPECT_NE(entry.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(entry.find("\"p999\":"), std::string::npos);
   EXPECT_NE(entry.find("\"count\": 8"), std::string::npos);
+  // 4 is an exact bucket under the log-linear layout: p50 is 4 itself.
+  EXPECT_NE(entry.find("\"p50\": 4.000"), std::string::npos);
 }
 
 TEST(Counters, SnapshotsAreSortedByName) {

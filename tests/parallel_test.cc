@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/data/generators.h"
@@ -820,6 +822,106 @@ TEST(ParallelObs, MonitorIngestionIsThreadCountInvariant) {
   }
   EXPECT_EQ(snapshots[0], snapshots[1]);
   EXPECT_EQ(snapshots[0], snapshots[2]);
+}
+
+TEST(ParallelObs, FlightRecorderCapturesEveryWorkerSpan) {
+  // The flight recorder's per-thread rings use the same owner-appends /
+  // release-publish discipline as the tracer buffers; running this under
+  // the TSan stage of scripts/verify.sh certifies them race-free. Every
+  // loop body must land exactly one retained span (no drops at default
+  // capacity) no matter how the pool slices the range.
+  ThreadGuard guard;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetRecorder();
+    obs::SetRecorderEnabled(true);
+    ParallelFor(0, size_t{257}, [&](size_t) {
+      XFAIR_SPAN("parallel_test/flight_body");
+    });
+    obs::SetRecorderEnabled(false);
+    size_t bodies = 0;
+    for (const obs::SpanRecord& s : obs::SnapshotFlightSpans()) {
+      if (s.name == std::string("parallel_test/flight_body")) ++bodies;
+    }
+#ifdef XFAIR_OBS_DISABLED
+    EXPECT_EQ(bodies, 0u);
+#else
+    EXPECT_EQ(bodies, 257u) << "threads " << threads;
+    EXPECT_EQ(obs::FlightSpansDropped(), 0u);
+#endif
+  }
+  obs::ResetRecorder();
+}
+
+TEST(ParallelObs, EventLogBytesAreThreadCountInvariant) {
+  // Events are emitted only at API boundaries on the caller thread, so
+  // the rendered JSONL — sequence numbers, field values, everything —
+  // must be byte-identical at any pool size.
+  ThreadGuard guard;
+  const Dataset data = CreditGen().Generate(300, 23);
+  std::vector<size_t> all(data.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::string logs[3];
+  size_t variant = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetEventLog();
+    obs::SetEventLogEnabled(true);
+    LogisticRegression model;
+    ASSERT_TRUE(model.Fit(data).ok());
+    (void)FairnessShapBatch(model, data, all, {});
+    SliceSearchOptions sopts;
+    sopts.max_conditions = 2;
+    (void)WorstSliceSearch(model, data, sopts);
+    obs::SetEventLogEnabled(false);
+    logs[variant++] = obs::EventsToJsonl(obs::DrainEvents());
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_EQ(logs[0], logs[2]);
+#ifndef XFAIR_OBS_DISABLED
+  EXPECT_NE(logs[0].find("\"event\":\"fit\""), std::string::npos);
+  EXPECT_NE(logs[0].find("\"event\":\"batch\""), std::string::npos);
+  EXPECT_NE(logs[0].find("worst_slice_done"), std::string::npos);
+#endif
+}
+
+TEST(ParallelObs, FlightSpanNameMultisetIsThreadCountInvariant) {
+  // The flight window's span *placement* depends on which worker ran
+  // which chunk, but DeterministicChunks splits ranges identically at
+  // any pool size — so the multiset of recorded span names is invariant
+  // even though the per-ring distribution is not.
+  ThreadGuard guard;
+  const Dataset data = CreditGen().Generate(400, 29);
+  DecisionTree tree;
+  DecisionTreeOptions topts;
+  topts.max_depth = 6;
+  ASSERT_TRUE(tree.Fit(data, topts).ok());
+  SliceSearchOptions sopts;
+  sopts.max_conditions = 2;
+  std::vector<std::string> names[3];
+  size_t variant = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetRecorder();
+    obs::SetRecorderEnabled(true);
+    (void)WorstSliceSearch(tree, data, sopts);
+    obs::SetRecorderEnabled(false);
+    std::vector<std::string>& v = names[variant++];
+    for (const obs::SpanRecord& s : obs::SnapshotFlightSpans()) {
+      v.push_back(s.name);
+    }
+    std::sort(v.begin(), v.end());
+  }
+  EXPECT_EQ(names[0], names[1]);
+  EXPECT_EQ(names[0], names[2]);
+#ifndef XFAIR_OBS_DISABLED
+  ASSERT_FALSE(names[0].empty());
+  EXPECT_TRUE(std::binary_search(names[0].begin(), names[0].end(),
+                                 std::string("slice_search/level_score")));
+  EXPECT_TRUE(std::binary_search(names[0].begin(), names[0].end(),
+                                 std::string("slice_search/worst_slice")));
+#endif
+  obs::ResetRecorder();
 }
 
 }  // namespace
